@@ -1,0 +1,52 @@
+// Package tlt_test holds the benchmark harness: one benchmark per table
+// and figure of the paper's evaluation. Each benchmark regenerates the
+// corresponding artifact at smoke scale and logs the rows; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full set, or cmd/tltsim for larger scales.
+package tlt_test
+
+import (
+	"testing"
+
+	"tlt/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(experiments.BenchScale())
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)          { benchFigure(b, "fig1") }
+func BenchmarkFig2(b *testing.B)          { benchFigure(b, "fig2") }
+func BenchmarkFig5(b *testing.B)          { benchFigure(b, "fig5") }
+func BenchmarkFig6(b *testing.B)          { benchFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)          { benchFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)          { benchFigure(b, "fig8") }
+func BenchmarkFig9(b *testing.B)          { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B)         { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B)         { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B)         { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B)         { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B)         { benchFigure(b, "fig14") }
+func BenchmarkFig14c(b *testing.B)        { benchFigure(b, "fig14c") }
+func BenchmarkFig15(b *testing.B)         { benchFigure(b, "fig15") }
+func BenchmarkFig16(b *testing.B)         { benchFigure(b, "fig16") }
+func BenchmarkFig17(b *testing.B)         { benchFigure(b, "fig17") }
+func BenchmarkFig18(b *testing.B)         { benchFigure(b, "fig18") }
+func BenchmarkTable1(b *testing.B)        { benchFigure(b, "table1") }
+func BenchmarkDumbbell(b *testing.B)      { benchFigure(b, "dumbbell") }
+func BenchmarkAblationN(b *testing.B)     { benchFigure(b, "ablation-n") }
+func BenchmarkAblationAlpha(b *testing.B) { benchFigure(b, "ablation-alpha") }

@@ -1,0 +1,88 @@
+// Command tltsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tltsim -list
+//	tltsim -exp fig5                 # quick scale (default)
+//	tltsim -exp fig5 -bg 2000 -seeds 3
+//	tltsim -exp all -full            # paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tlt/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		full   = flag.Bool("full", false, "paper scale: 10k background flows, 5 seeds")
+		bg     = flag.Int("bg", 0, "override background flow count")
+		seeds  = flag.Int("seeds", 0, "override seed count")
+		points = flag.Int("points", 0, "trim sweep axes to the first N points")
+		format = flag.String("format", "table", "output format: table, csv, json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scale := experiments.QuickScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+	if *bg > 0 {
+		scale.BgFlows = *bg
+	}
+	if *seeds > 0 {
+		scale.Seeds = *seeds
+	}
+	if *points > 0 {
+		scale.AppPoints = *points
+	}
+
+	run := func(e experiments.Entry) {
+		start := time.Now()
+		rep := e.Run(scale)
+		switch *format {
+		case "csv":
+			fmt.Print(rep.CSV())
+		case "json":
+			out, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "json:", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		default:
+			fmt.Println(rep.String())
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,94 @@
+// Incast microbenchmark (paper §7.4 / Fig. 14): a client fetches 32 kB
+// responses from 8 servers over a growing number of concurrent flows and
+// reports tail FCT per transport variant.
+//
+//	go run ./examples/incast -max 200 -step 40
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport"
+	"tlt/internal/transport/tcp"
+)
+
+var (
+	maxFlows = flag.Int("max", 200, "maximum concurrent flows")
+	step     = flag.Int("step", 40, "flow count step")
+	size     = flag.Int64("size", 32*1024, "response size in bytes")
+	dctcp    = flag.Bool("dctcp", true, "use DCTCP (false: plain TCP)")
+)
+
+type variant struct {
+	name string
+	cfg  func() tcp.Config
+	tlt  bool
+}
+
+func main() {
+	flag.Parse()
+	base := tcp.DefaultConfig
+	if *dctcp {
+		base = tcp.DCTCPConfig
+	}
+	variants := []variant{
+		{"baseline(4ms)", base, false},
+		{"rtomin=200us", func() tcp.Config {
+			c := base()
+			c.RTO.Min = 200 * sim.Microsecond
+			return c
+		}, false},
+		{"tlt", base, true},
+	}
+
+	fmt.Printf("%-14s %6s %10s %10s %10s %9s\n", "variant", "flows", "p50", "p99", "max", "timeouts")
+	for _, v := range variants {
+		for flows := *step; flows <= *maxFlows; flows += *step {
+			p50, p99, mx, to := run(v, flows)
+			fmt.Printf("%-14s %6d %10s %10s %10s %9d\n", v.name, flows,
+				stats.FmtDur(p50), stats.FmtDur(p99), stats.FmtDur(mx), to)
+		}
+	}
+}
+
+func run(v variant, flows int) (p50, p99, max float64, timeouts int) {
+	s := sim.New()
+	swc := fabric.SwitchConfig{
+		BufferBytes: 3_600_000, // Tomahawk-class dynamic allocation (§6)
+		ECN:         fabric.ECNStep,
+		KEcn:        200_000,
+	}
+	if v.tlt {
+		swc.ColorThreshold = 270_000
+	}
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       9,
+		LinkRateBps: 40e9,
+		LinkDelay:   2 * sim.Microsecond,
+		Switch:      swc,
+	})
+	cfg := v.cfg()
+	cfg.TLT = core.Config{Enabled: v.tlt}
+	rec := stats.NewRecorder()
+	for i := 0; i < flows; i++ {
+		src := net.Hosts[1+i%8]
+		f := &transport.Flow{
+			ID:  packet.FlowID(i + 1),
+			Src: src.ID(), Dst: 0,
+			Size: *size, FG: true,
+			Start: sim.Time(i%8) * 100 * sim.Nanosecond,
+		}
+		tcp.StartFlow(s, src, net.Hosts[0], f, cfg, rec, nil)
+	}
+	s.Run(10 * sim.Second)
+	fcts := rec.Select(true)
+	return stats.Percentile(fcts, 0.5), stats.Percentile(fcts, 0.99),
+		stats.Percentile(fcts, 1), rec.TimeoutsAll()
+}

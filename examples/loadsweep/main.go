@@ -1,0 +1,48 @@
+// Load sweep on the full 96-host leaf-spine fabric (paper §7.2 / Fig. 9):
+// background web-search traffic plus periodic 95-to-1 incast, sweeping
+// the core-link load and comparing DCTCP against DCTCP+TLT.
+//
+//	go run ./examples/loadsweep -bg 300 -loads 0.2,0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tlt/internal/experiments"
+	"tlt/internal/stats"
+	"tlt/internal/workload"
+)
+
+var (
+	bgFlows = flag.Int("bg", 300, "background flows per run")
+	loads   = flag.String("loads", "0.2,0.4,0.6", "comma-separated core loads")
+	pfc     = flag.Bool("pfc", false, "enable PFC")
+)
+
+func main() {
+	flag.Parse()
+	fmt.Printf("%-12s %6s %14s %14s %12s\n", "variant", "load", "fg p99.9", "bg avg FCT", "timeouts/1k")
+	for _, part := range strings.Split(*loads, ",") {
+		load, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Println("bad load:", part)
+			return
+		}
+		for _, tlt := range []bool{false, true} {
+			v := experiments.Variant{Transport: "dctcp", TLT: tlt, PFC: *pfc}
+			res := experiments.Run(experiments.RunConfig{
+				Variant: v,
+				Traffic: workload.DefaultTraffic(load, *bgFlows),
+				Seed:    1,
+			})
+			fmt.Printf("%-12s %5.0f%% %14s %14s %12.1f\n",
+				v.Name(), load*100,
+				stats.FmtDur(res.FgP(0.999)),
+				stats.FmtDur(res.BgMean()),
+				res.TimeoutsPer1k())
+		}
+	}
+}

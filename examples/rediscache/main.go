@@ -1,0 +1,98 @@
+// Redis cache benchmark (paper §7.3 / Fig. 12-13): an HTTP client fans
+// requests over 8 web servers; each request triggers a 32 kB SET to a
+// cache node over a persistent connection, creating incast at the cache.
+//
+//	go run ./examples/rediscache -requests 180
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tlt/internal/app"
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport/tcp"
+)
+
+var (
+	requests = flag.Int("requests", 180, "simultaneous HTTP requests")
+	mixed    = flag.Bool("mixed", false, "run the mixed bg+fg experiment (Fig. 13) instead")
+)
+
+func cluster(useTLT bool) (*sim.Sim, *topo.Network, *app.CacheCluster, *stats.Recorder) {
+	s := sim.New()
+	swc := fabric.SwitchConfig{
+		BufferBytes: 3_600_000,
+		ECN:         fabric.ECNStep,
+		KEcn:        200_000,
+	}
+	if useTLT {
+		swc.ColorThreshold = 270_000
+	}
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       10,
+		LinkRateBps: 40e9,
+		LinkDelay:   2 * sim.Microsecond,
+		Switch:      swc,
+	})
+	cfg := tcp.DCTCPConfig()
+	cfg.TLT = core.Config{Enabled: useTLT}
+	rec := stats.NewRecorder()
+	return s, net, app.NewCacheCluster(s, net.Hosts, cfg, rec, 1), rec
+}
+
+func main() {
+	flag.Parse()
+	if *mixed {
+		runMixed()
+		return
+	}
+	fmt.Printf("SET burst: %d requests over 8 web servers -> 1 cache node (32kB each)\n", *requests)
+	for _, useTLT := range []bool{false, true} {
+		s, _, cl, rec := cluster(useTLT)
+		rts := cl.RunSetBurst(*requests, 0)
+		s.Run(10 * sim.Second)
+		var xs []float64
+		for _, rt := range rts {
+			if rt > 0 {
+				xs = append(xs, rt.Seconds())
+			}
+		}
+		name := "DCTCP      "
+		if useTLT {
+			name = "DCTCP + TLT"
+		}
+		fmt.Printf("%s  completed %3d/%3d  p50 %-9s p99 %-9s max %-9s timeouts %d\n",
+			name, len(xs), *requests,
+			stats.FmtDur(stats.Percentile(xs, 0.5)),
+			stats.FmtDur(stats.Percentile(xs, 0.99)),
+			stats.FmtDur(stats.Percentile(xs, 1)),
+			rec.TimeoutsAll())
+	}
+}
+
+func runMixed() {
+	fmt.Println("Mixed traffic: one 8MB background flow + 152 x 32kB SETs (Fig. 13)")
+	for _, useTLT := range []bool{false, true} {
+		s, net, cl, rec := cluster(useTLT)
+		res := cl.RunMixed(152, net.Hosts[0], 8_000_000, 0)
+		s.Run(10 * sim.Second)
+		var xs []float64
+		for _, rt := range res.FgRTs {
+			if rt > 0 {
+				xs = append(xs, rt.Seconds())
+			}
+		}
+		name := "DCTCP      "
+		if useTLT {
+			name = "DCTCP + TLT"
+		}
+		fmt.Printf("%s  fg p99 %-9s bg goodput %6.2f Gbps  timeouts %d\n",
+			name, stats.FmtDur(stats.Percentile(xs, 0.99)),
+			res.BgGoodput*8/1e9, rec.TimeoutsAll())
+	}
+}

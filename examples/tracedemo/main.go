@@ -1,0 +1,66 @@
+// Tracedemo prints the packet-level timeline of one TLT flow that loses
+// the tail of its initial window — the paper's Figure 3 scenario: the
+// important tail packet survives the congestion (green), its echo exposes
+// the loss, and recovery completes without any retransmission timeout.
+//
+//	go run ./examples/tracedemo
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/trace"
+	"tlt/internal/transport"
+	"tlt/internal/transport/tcp"
+)
+
+func main() {
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts:       34,
+		LinkRateBps: 40e9,
+		LinkDelay:   10 * sim.Microsecond,
+		Switch: fabric.SwitchConfig{
+			BufferBytes:    600_000,
+			ColorThreshold: 100_000,
+			ECN:            fabric.ECNStep,
+			KEcn:           100_000,
+		},
+	})
+
+	cfg := tcp.DCTCPConfig()
+	cfg.TLT = core.Config{Enabled: true}
+	rec := stats.NewRecorder()
+
+	// Flow 1 is the one we trace; 32 competing flows congest the port
+	// so flow 1's unimportant packets get color-dropped.
+	tr := trace.New(0)
+	tr.FlowFilter = 1
+	tr.Attach(n.Hosts[1])
+
+	for i := 0; i < 33; i++ {
+		f := &transport.Flow{
+			ID:  packet.FlowID(i + 1),
+			Src: packet.NodeID(i + 1), Dst: 0,
+			Size: 8_000, FG: true,
+		}
+		tcp.StartFlow(s, n.Hosts[i+1], n.Hosts[0], f, cfg, rec, nil)
+	}
+	s.Run(sim.Second)
+
+	fmt.Println("Packet timeline of flow 1 (sender side):")
+	tr.Dump(os.Stdout)
+	fr := rec.Flows[0]
+	fmt.Printf("\nflow 1: FCT %v, %d data packets sent (%d retransmissions, %d clock sends), %d timeouts\n",
+		fr.FCT(), fr.SentPackets, fr.RetxPackets, fr.ClockSends, fr.Timeouts)
+	ctr := n.Counters()
+	fmt.Printf("switch: %d unimportant packets color-dropped, %d important drops\n",
+		ctr.DropRedColor, ctr.DropGreen)
+}

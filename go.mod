@@ -1,0 +1,3 @@
+module tlt
+
+go 1.22

@@ -1,0 +1,125 @@
+package app
+
+import (
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+	"tlt/internal/transport/tcp"
+)
+
+// Message sizes modeled after the paper's Redis benchmark: an HTTP
+// request fans out to a web server, which issues a 32 kB SET to the
+// cache node and returns a small response.
+const (
+	HTTPRequestBytes  = 200
+	HTTPResponseBytes = 300
+	SetBytes          = 32 * 1024
+	SetReplyBytes     = 100
+)
+
+// CacheCluster wires the paper's 10-node testbed roles onto hosts:
+// hosts[0] is the HTTP client, hosts[1..n-2] are web servers, and the
+// last host is the Redis node.
+type CacheCluster struct {
+	s        *sim.Sim
+	Client   *fabric.Host
+	Servers  []*fabric.Host
+	Redis    *fabric.Host
+	cfg      tcp.Config
+	recorder *stats.Recorder
+	nextID   packet.FlowID
+}
+
+// NewCacheCluster builds the role assignment.
+func NewCacheCluster(s *sim.Sim, hosts []*fabric.Host, cfg tcp.Config, recorder *stats.Recorder, firstID packet.FlowID) *CacheCluster {
+	return &CacheCluster{
+		s:        s,
+		Client:   hosts[0],
+		Servers:  hosts[1 : len(hosts)-1],
+		Redis:    hosts[len(hosts)-1],
+		cfg:      cfg,
+		recorder: recorder,
+		nextID:   firstID,
+	}
+}
+
+func (c *CacheCluster) newID() packet.FlowID {
+	id := c.nextID
+	c.nextID += 2
+	return id
+}
+
+// RunSetBurst issues numRequests simultaneous HTTP requests spread
+// evenly over the web servers; each request triggers a 32 kB SET to the
+// Redis node over its own persistent connection (the incast the paper's
+// Fig. 12 measures). It returns a slice that will hold the client-
+// perceived response time of each request once the simulation runs.
+func (c *CacheCluster) RunSetBurst(numRequests int, at sim.Time) []sim.Time {
+	rts := make([]sim.Time, numRequests)
+	for r := 0; r < numRequests; r++ {
+		r := r
+		ws := c.Servers[r%len(c.Servers)]
+		clientCh := NewChannel(c.s, c.Client, ws, c.newID(), c.cfg, c.recorder)
+		redisCh := NewChannel(c.s, ws, c.Redis, c.newID(), c.cfg, c.recorder)
+		c.s.At(at, func() {
+			start := c.s.Now()
+			clientCh.SendAB(HTTPRequestBytes, func() {
+				redisCh.SendAB(SetBytes, func() {
+					redisCh.SendBA(SetReplyBytes, func() {
+						clientCh.SendBA(HTTPResponseBytes, func() {
+							rts[r] = c.s.Now() - start
+						})
+					})
+				})
+			})
+		})
+	}
+	return rts
+}
+
+// MixedResult reports the paper's Fig. 13 metrics.
+type MixedResult struct {
+	FgRTs      []sim.Time // per-SET completion times
+	BgGoodput  float64    // bytes/sec of the background flow
+	BgFCT      sim.Time
+	BgComplete bool
+}
+
+// RunMixed runs the §7.3 mixed-traffic experiment: one large background
+// flow to the Redis node competing with fgFlows 32 kB SETs from the web
+// servers. bgSrc should be a host that is not a web server.
+func (c *CacheCluster) RunMixed(fgFlows int, bgSrc *fabric.Host, bgBytes int64, at sim.Time) *MixedResult {
+	res := &MixedResult{FgRTs: make([]sim.Time, fgFlows)}
+
+	bgFlow := &transport.Flow{
+		ID: c.newID(), Src: bgSrc.ID(), Dst: c.Redis.ID(),
+		Size: bgBytes, Start: at,
+	}
+	tcp.StartFlow(c.s, bgSrc, c.Redis, bgFlow, c.cfg, c.recorder, func(fr *stats.FlowRecord) {
+		res.BgComplete = true
+		res.BgFCT = fr.FCT()
+		if fr.FCT() > 0 {
+			res.BgGoodput = float64(bgBytes) / fr.FCT().Seconds()
+		}
+	})
+
+	// Foreground SETs start shortly after the background flow is at
+	// full rate.
+	fgStart := at + 2*sim.Millisecond
+	for r := 0; r < fgFlows; r++ {
+		r := r
+		ws := c.Servers[r%len(c.Servers)]
+		redisCh := NewChannel(c.s, ws, c.Redis, c.newID(), c.cfg, c.recorder)
+		c.s.At(fgStart, func() {
+			start := c.s.Now()
+			redisCh.SendAB(SetBytes, func() {
+				redisCh.SendBA(SetReplyBytes, func() {
+					res.FgRTs[r] = c.s.Now() - start
+				})
+			})
+		})
+	}
+	return res
+}

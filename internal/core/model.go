@@ -1,0 +1,66 @@
+package core
+
+// This file implements the paper's analytical switch-buffer model (§4.2):
+// with a dynamic-threshold shared buffer, how many concurrent flows can a
+// TLT switch sustain before important packets are at risk? The model
+// underlies the paper's claim that a Trident II-class chip protects
+// thousands of flows without PFC.
+
+// BufferModel describes a shared-buffer switch for the §4.2 analysis.
+type BufferModel struct {
+	BufferBytes    int64   // total shared buffer B
+	Ports          int     // N
+	Alpha          float64 // dynamic threshold parameter
+	ColorThreshold int64   // K, reserved for unimportant traffic
+	PacketBytes    int64   // worst-case important packet size
+}
+
+// PerPortBuffer returns the buffer one of m simultaneously congested
+// ports receives from the dynamic threshold algorithm:
+// alpha*B / (1 + m*alpha) (Choudhury–Hahne steady state).
+func (m BufferModel) PerPortBuffer(congested int) float64 {
+	if congested <= 0 {
+		return 0
+	}
+	return m.Alpha * float64(m.BufferBytes) / (1 + float64(congested)*m.Alpha)
+}
+
+// ImportantHeadroom returns the per-port bytes available to important
+// packets beyond the color-aware threshold when `congested` ports are
+// simultaneously congested.
+func (m BufferModel) ImportantHeadroom(congested int) float64 {
+	h := m.PerPortBuffer(congested) - float64(m.ColorThreshold)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// FlowsPerPort returns how many flows one congested port can hold
+// important packets for, given TLT's at-most-one-important-in-flight
+// invariant (§5.1).
+func (m BufferModel) FlowsPerPort(congested int) int {
+	if m.PacketBytes <= 0 {
+		return 0
+	}
+	return int(m.ImportantHeadroom(congested) / float64(m.PacketBytes))
+}
+
+// TotalFlows returns the fabric-wide flow count protected when
+// `congested` ports are simultaneously congested.
+func (m BufferModel) TotalFlows(congested int) int {
+	return congested * m.FlowsPerPort(congested)
+}
+
+// TridentII returns the model instance the paper evaluates: a 12 MB /
+// 32-port Broadcom Trident II with alpha=1, K=400 kB and ~2 kB packets
+// (§4.2 uses 1.5 kB MTU; we keep the paper's numbers by parameterizing).
+func TridentII(colorThreshold, packetBytes int64) BufferModel {
+	return BufferModel{
+		BufferBytes:    12_000_000,
+		Ports:          32,
+		Alpha:          1,
+		ColorThreshold: colorThreshold,
+		PacketBytes:    packetBytes,
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBufferModelMatchesPaperNumbers checks the worked example of §4.2:
+// a Trident II with 16 simultaneously congested ports gives each port
+// 12MB/(1+16) = 705.88 kB; with K=400 kB that leaves ~305.88 kB for
+// important packets, i.e. ~203 flows of 1.5 kB per port and 3248 total.
+func TestBufferModelMatchesPaperNumbers(t *testing.T) {
+	m := TridentII(400_000, 1500)
+	per := m.PerPortBuffer(16)
+	if math.Abs(per-705_882) > 1000 {
+		t.Fatalf("per-port buffer = %.0f, want ~705.88kB", per)
+	}
+	head := m.ImportantHeadroom(16)
+	if math.Abs(head-305_882) > 1000 {
+		t.Fatalf("headroom = %.0f, want ~305.88kB", head)
+	}
+	if flows := m.FlowsPerPort(16); flows < 200 || flows > 206 {
+		t.Fatalf("flows per port = %d, want ~203", flows)
+	}
+	if total := m.TotalFlows(16); total < 3200 || total > 3300 {
+		t.Fatalf("total flows = %d, want ~3248", total)
+	}
+}
+
+// TestBufferModelSinglePort checks the paper's single-congested-port
+// case: 1/2 x 12MB - 0.4MB = 5.6MB of headroom, ~3733 flows.
+func TestBufferModelSinglePort(t *testing.T) {
+	m := TridentII(400_000, 1500)
+	head := m.ImportantHeadroom(1)
+	if math.Abs(head-5_600_000) > 1000 {
+		t.Fatalf("headroom = %.0f, want 5.6MB", head)
+	}
+	if flows := m.FlowsPerPort(1); flows < 3700 || flows > 3760 {
+		t.Fatalf("flows = %d, want ~3733", flows)
+	}
+}
+
+func TestBufferModelDegenerateCases(t *testing.T) {
+	m := TridentII(400_000, 1500)
+	if m.PerPortBuffer(0) != 0 {
+		t.Fatal("zero congested ports should give zero")
+	}
+	// K larger than the per-port share: no headroom, not negative.
+	tight := TridentII(12_000_000, 1500)
+	if tight.ImportantHeadroom(16) != 0 {
+		t.Fatal("headroom must clamp at zero")
+	}
+	if (BufferModel{}).FlowsPerPort(4) != 0 {
+		t.Fatal("zero packet size must yield zero flows")
+	}
+}
+
+// TestBufferModelMonotonicity: more congested ports → less headroom each.
+func TestBufferModelMonotonicity(t *testing.T) {
+	m := TridentII(400_000, 1500)
+	prev := math.Inf(1)
+	for c := 1; c <= m.Ports; c++ {
+		h := m.ImportantHeadroom(c)
+		if h > prev {
+			t.Fatalf("headroom increased at %d congested ports", c)
+		}
+		prev = h
+	}
+}

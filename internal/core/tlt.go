@@ -1,0 +1,241 @@
+// Package core implements TLT (Timeout-Less Transport), the paper's
+// primary contribution: host-side selection of "important" packets —
+// packets whose loss would trigger a retransmission timeout — so that
+// switches can protect them with color-aware dropping while exposing the
+// rest to a lossy best-effort network.
+//
+// Two marking state machines are provided, mirroring §5 of the paper:
+//
+//   - WindowSender/WindowReceiver for window-based transports (TCP,
+//     DCTCP, HPCC, IRN): keep exactly one important packet in flight per
+//     flow and use its echo both as a guaranteed loss indicator and as a
+//     self-clock that survives window collapse (important ACK-clocking,
+//     Algorithm 1).
+//   - RateSender for rate-based transports (DCQCN): mark the last packet
+//     of a message, the first packet of every retransmission round, and
+//     optionally every N-th packet.
+//
+// All pure control packets (ACK, NACK, CNP) are always important.
+package core
+
+import (
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// ClockMode selects the payload policy of important ACK-clocking
+// (Appendix B, Fig. 17 ablation).
+type ClockMode uint8
+
+// Clock payload policies.
+const (
+	// ClockAdaptive sends one byte when no loss is indicated and a full
+	// MSS of the first lost data when loss is indicated (the paper's
+	// design).
+	ClockAdaptive ClockMode = iota
+	// ClockOneByte always sends a single byte (slow recovery ablation).
+	ClockOneByte
+	// ClockFullMTU always sends a full segment (bandwidth-heavy ablation).
+	ClockFullMTU
+)
+
+// Config enables and parametrizes TLT on a transport.
+type Config struct {
+	Enabled bool
+	Clock   ClockMode
+	// PeriodN, for rate-based transports, marks one important packet
+	// every N data packets (0 disables periodic marking). The paper
+	// uses N=96 (the fabric's maximum fan-out).
+	PeriodN int
+}
+
+// WindowSender is the sender half of the window-based TLT state machine.
+//
+// Invariant: at most one important Data/ClockData packet is in flight per
+// flow. The transport must call TakeMark for every outgoing data packet,
+// OnEcho for every arriving echo, and Reset on RTO.
+type WindowSender struct {
+	cfg Config
+
+	armed    bool // sendState == Important: next eligible send is marked
+	inFlight bool // an important packet is in the network
+
+	impSentAt sim.Time // when the in-flight important packet was sent
+}
+
+// NewWindowSender returns a sender machine; a disabled config yields a
+// machine that never marks.
+func NewWindowSender(cfg Config) *WindowSender {
+	return &WindowSender{cfg: cfg}
+}
+
+// Enabled reports whether TLT is active.
+func (w *WindowSender) Enabled() bool { return w.cfg.Enabled }
+
+// Mode returns the configured clock payload policy.
+func (w *WindowSender) Mode() ClockMode { return w.cfg.Clock }
+
+// Armed reports whether an important transmission is pending (sendState ==
+// Important and nothing in flight).
+func (w *WindowSender) Armed() bool { return w.cfg.Enabled && w.armed && !w.inFlight }
+
+// InFlight reports whether an important packet is currently outstanding.
+func (w *WindowSender) InFlight() bool { return w.inFlight }
+
+// TakeMark decides the mark of an outgoing data packet sent at time now.
+// lastOfBurst indicates the transport cannot send further packets right
+// now (window or data exhausted after this one); TLT marks the packet
+// important when the flow has no important packet in flight and either an
+// echo armed the machine or this is the tail of the burst. Marking the
+// burst tail (rather than the head) makes the important packet's echo a
+// loss indicator covering every packet sent before it.
+func (w *WindowSender) TakeMark(lastOfBurst bool, now sim.Time) packet.Mark {
+	if !w.cfg.Enabled || w.inFlight {
+		return packet.Unimportant
+	}
+	if w.armed || lastOfBurst {
+		w.armed = false
+		w.inFlight = true
+		w.impSentAt = now
+		return packet.ImportantData
+	}
+	return packet.Unimportant
+}
+
+// TakeClockMark marks an important ACK-clocking transmission.
+func (w *WindowSender) TakeClockMark(now sim.Time) packet.Mark {
+	w.armed = false
+	w.inFlight = true
+	w.impSentAt = now
+	return packet.ImportantClockData
+}
+
+// OnEcho processes an arriving ImportantEcho or ImportantClockEcho. It
+// returns the send time of the acknowledged important packet: every
+// unacknowledged packet transmitted strictly before that instant has been
+// overtaken by a full round trip on the same path and is therefore lost
+// (the paper's "guaranteed fast loss detection").
+func (w *WindowSender) OnEcho() (impSentAt sim.Time, ok bool) {
+	if !w.cfg.Enabled {
+		return 0, false
+	}
+	if !w.inFlight {
+		// Duplicate echo (e.g. a retransmitted important packet); arm anyway.
+		w.armed = true
+		return 0, false
+	}
+	w.inFlight = false
+	w.armed = true
+	return w.impSentAt, true
+}
+
+// Reset restores the machine after an RTO so the recovery retransmission
+// is marked important (the in-flight important packet, if any, is
+// presumed lost — an event the paper shows is vanishingly rare).
+func (w *WindowSender) Reset() {
+	if !w.cfg.Enabled {
+		return
+	}
+	w.inFlight = false
+	w.armed = true
+}
+
+// AckMark returns the mark for an outgoing pure ACK given the receiver
+// machine state; used by WindowReceiver below.
+
+// WindowReceiver is the receiver half: it echoes importance on the next
+// ACK, per Algorithm 1.
+type WindowReceiver struct {
+	cfg   Config
+	state packet.Mark // Unimportant (idle), ImportantData, ImportantClockData
+}
+
+// NewWindowReceiver returns a receiver machine.
+func NewWindowReceiver(cfg Config) *WindowReceiver {
+	return &WindowReceiver{cfg: cfg}
+}
+
+// OnData records the mark of an arriving data packet.
+func (r *WindowReceiver) OnData(m packet.Mark) {
+	if !r.cfg.Enabled {
+		return
+	}
+	switch m {
+	case packet.ImportantData, packet.ImportantClockData:
+		r.state = m
+	}
+}
+
+// TakeAckMark returns the mark for the ACK being generated and resets the
+// receive state. Pure ACKs are always important under TLT (§5).
+func (r *WindowReceiver) TakeAckMark() packet.Mark {
+	if !r.cfg.Enabled {
+		return packet.Unimportant
+	}
+	switch r.state {
+	case packet.ImportantData:
+		r.state = packet.Unimportant
+		return packet.ImportantEcho
+	case packet.ImportantClockData:
+		r.state = packet.Unimportant
+		return packet.ImportantClockEcho
+	default:
+		return packet.ControlImportant
+	}
+}
+
+// StaleClockEcho reports whether an arriving ACK is an important-clock
+// echo that made no forward progress; Appendix A requires dropping it at
+// the TLT layer so congestion control never sees the duplicate ACK the
+// clock transmission manufactured.
+func StaleClockEcho(m packet.Mark, ack, sndUna int64) bool {
+	return m == packet.ImportantClockEcho && ack <= sndUna
+}
+
+// RateSender implements the rate-based marking policy (§5.2): the last
+// packet of a message is important (it guarantees the receiver can detect
+// any preceding loss), the first packet of every retransmission round is
+// important (so a NACK round-trip is never silently lost), and optionally
+// every PeriodN-th packet is important for long messages.
+type RateSender struct {
+	cfg     Config
+	counter int
+}
+
+// NewRateSender returns a rate-based marking machine.
+func NewRateSender(cfg Config) *RateSender {
+	return &RateSender{cfg: cfg}
+}
+
+// Enabled reports whether TLT is active.
+func (r *RateSender) Enabled() bool { return r.cfg.Enabled }
+
+// TakeMark decides the mark of an outgoing data packet. last marks the
+// final packet of the message; retxRoundStart marks the first packet of a
+// new retransmission round (go-back-N rewind or selective-retransmit
+// batch).
+func (r *RateSender) TakeMark(last, retxRoundStart bool) packet.Mark {
+	if !r.cfg.Enabled {
+		return packet.Unimportant
+	}
+	if last || retxRoundStart {
+		r.counter = 0
+		return packet.ImportantData
+	}
+	if r.cfg.PeriodN > 0 {
+		r.counter++
+		if r.counter >= r.cfg.PeriodN {
+			r.counter = 0
+			return packet.ImportantData
+		}
+	}
+	return packet.Unimportant
+}
+
+// ControlMark returns the mark for control packets (ACK/NACK/CNP).
+func ControlMark(enabled bool) packet.Mark {
+	if enabled {
+		return packet.ControlImportant
+	}
+	return packet.Unimportant
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+func TestWindowSenderDisabled(t *testing.T) {
+	w := NewWindowSender(Config{})
+	if w.Enabled() || w.Armed() {
+		t.Fatal("disabled machine reports enabled state")
+	}
+	if m := w.TakeMark(true, 0); m != packet.Unimportant {
+		t.Fatalf("disabled TakeMark = %v", m)
+	}
+	if _, ok := w.OnEcho(); ok {
+		t.Fatal("disabled OnEcho reported ok")
+	}
+}
+
+func TestWindowSenderInitialBurstMarksTail(t *testing.T) {
+	w := NewWindowSender(Config{Enabled: true})
+	// Packets in the middle of the initial burst stay unimportant; the
+	// tail of the burst is the important one (it covers the burst as a
+	// loss indicator).
+	for i := 0; i < 9; i++ {
+		if m := w.TakeMark(false, sim.Time(i)); m != packet.Unimportant {
+			t.Fatalf("mid-burst packet %d marked %v", i, m)
+		}
+	}
+	if m := w.TakeMark(true, 9); m != packet.ImportantData {
+		t.Fatalf("burst tail marked %v", m)
+	}
+	if !w.InFlight() {
+		t.Fatal("important packet should be in flight")
+	}
+	// No second important while one is in flight, even at a burst tail.
+	if m := w.TakeMark(true, 10); m != packet.Unimportant {
+		t.Fatalf("second important while in flight: %v", m)
+	}
+}
+
+func TestWindowSenderEchoArmsAndDetects(t *testing.T) {
+	w := NewWindowSender(Config{Enabled: true})
+	w.TakeMark(true, 100)
+	at, ok := w.OnEcho()
+	if !ok || at != 100 {
+		t.Fatalf("OnEcho = (%v, %v), want (100, true)", at, ok)
+	}
+	if !w.Armed() {
+		t.Fatal("echo must arm the machine")
+	}
+	// Armed: even a mid-burst packet is marked.
+	if m := w.TakeMark(false, 200); m != packet.ImportantData {
+		t.Fatalf("armed TakeMark = %v", m)
+	}
+}
+
+func TestWindowSenderDuplicateEcho(t *testing.T) {
+	w := NewWindowSender(Config{Enabled: true})
+	w.TakeMark(true, 100)
+	w.OnEcho()
+	// A duplicate echo (retransmitted important packet) still arms but
+	// yields no RACK timestamp.
+	if _, ok := w.OnEcho(); ok {
+		t.Fatal("duplicate echo should not return a timestamp")
+	}
+	if !w.Armed() {
+		t.Fatal("duplicate echo should still arm")
+	}
+}
+
+func TestWindowSenderClockMark(t *testing.T) {
+	w := NewWindowSender(Config{Enabled: true})
+	w.TakeMark(true, 1)
+	w.OnEcho()
+	if m := w.TakeClockMark(50); m != packet.ImportantClockData {
+		t.Fatalf("TakeClockMark = %v", m)
+	}
+	if w.Armed() || !w.InFlight() {
+		t.Fatal("clock transmission must consume armed state")
+	}
+	if at, ok := w.OnEcho(); !ok || at != 50 {
+		t.Fatalf("clock echo = (%v,%v)", at, ok)
+	}
+}
+
+func TestWindowSenderReset(t *testing.T) {
+	w := NewWindowSender(Config{Enabled: true})
+	w.TakeMark(true, 1)
+	w.Reset() // RTO: presumed lost
+	if !w.Armed() {
+		t.Fatal("reset must re-arm so the recovery retransmission is marked")
+	}
+	if m := w.TakeMark(false, 2); m != packet.ImportantData {
+		t.Fatalf("post-reset mark = %v", m)
+	}
+}
+
+// TestWindowSenderInvariant drives random operation sequences and checks
+// the paper's core invariant: at most one important packet in flight.
+func TestWindowSenderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWindowSender(Config{Enabled: true})
+		inflight := 0
+		now := sim.Time(0)
+		for op := 0; op < 500; op++ {
+			now++
+			switch rng.Intn(4) {
+			case 0, 1:
+				if w.TakeMark(rng.Intn(2) == 0, now) != packet.Unimportant {
+					inflight++
+				}
+			case 2:
+				if inflight > 0 && rng.Intn(2) == 0 {
+					w.OnEcho()
+					inflight--
+				}
+			case 3:
+				if rng.Intn(10) == 0 { // rare RTO
+					w.Reset()
+					inflight = 0
+				}
+			}
+			if inflight > 1 {
+				return false
+			}
+			if w.InFlight() != (inflight == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowReceiverEchoes(t *testing.T) {
+	r := NewWindowReceiver(Config{Enabled: true})
+	// Pure ACKs are always important.
+	if m := r.TakeAckMark(); m != packet.ControlImportant {
+		t.Fatalf("idle ack mark = %v", m)
+	}
+	r.OnData(packet.ImportantData)
+	if m := r.TakeAckMark(); m != packet.ImportantEcho {
+		t.Fatalf("echo mark = %v", m)
+	}
+	// State consumed: next ACK is plain control.
+	if m := r.TakeAckMark(); m != packet.ControlImportant {
+		t.Fatalf("post-echo mark = %v", m)
+	}
+	r.OnData(packet.ImportantClockData)
+	if m := r.TakeAckMark(); m != packet.ImportantClockEcho {
+		t.Fatalf("clock echo mark = %v", m)
+	}
+	r.OnData(packet.Unimportant)
+	if m := r.TakeAckMark(); m != packet.ControlImportant {
+		t.Fatalf("unimportant data produced %v", m)
+	}
+}
+
+func TestWindowReceiverDisabled(t *testing.T) {
+	r := NewWindowReceiver(Config{})
+	r.OnData(packet.ImportantData)
+	if m := r.TakeAckMark(); m != packet.Unimportant {
+		t.Fatalf("disabled receiver mark = %v", m)
+	}
+}
+
+func TestStaleClockEcho(t *testing.T) {
+	if !StaleClockEcho(packet.ImportantClockEcho, 100, 100) {
+		t.Fatal("ack == una must be stale")
+	}
+	if StaleClockEcho(packet.ImportantClockEcho, 101, 100) {
+		t.Fatal("progressing clock echo is not stale")
+	}
+	if StaleClockEcho(packet.ImportantEcho, 100, 100) {
+		t.Fatal("plain echoes are never dropped")
+	}
+}
+
+func TestRateSenderMarking(t *testing.T) {
+	r := NewRateSender(Config{Enabled: true, PeriodN: 4})
+	var marks []packet.Mark
+	for i := 0; i < 10; i++ {
+		marks = append(marks, r.TakeMark(i == 9, false))
+	}
+	if marks[9] != packet.ImportantData {
+		t.Fatal("last packet of message must be important")
+	}
+	imp := 0
+	for _, m := range marks[:9] {
+		if m == packet.ImportantData {
+			imp++
+		}
+	}
+	if imp != 2 { // periodic marks at positions 3 and 7
+		t.Fatalf("periodic marks = %d, want 2", imp)
+	}
+}
+
+func TestRateSenderRetxRound(t *testing.T) {
+	r := NewRateSender(Config{Enabled: true})
+	if m := r.TakeMark(false, true); m != packet.ImportantData {
+		t.Fatal("retransmission round start must be important")
+	}
+	if m := r.TakeMark(false, false); m != packet.Unimportant {
+		t.Fatal("mid-round retransmission should not be important")
+	}
+}
+
+func TestRateSenderDisabled(t *testing.T) {
+	r := NewRateSender(Config{PeriodN: 1})
+	if m := r.TakeMark(true, true); m != packet.Unimportant {
+		t.Fatalf("disabled rate sender marked %v", m)
+	}
+}
+
+func TestControlMark(t *testing.T) {
+	if ControlMark(true) != packet.ControlImportant {
+		t.Fatal("enabled control mark wrong")
+	}
+	if ControlMark(false) != packet.Unimportant {
+		t.Fatal("disabled control mark wrong")
+	}
+}
+
+func TestPeriodCounterResetOnImportant(t *testing.T) {
+	r := NewRateSender(Config{Enabled: true, PeriodN: 3})
+	r.TakeMark(false, true) // round start: important, resets counter
+	got := 0
+	for i := 0; i < 3; i++ {
+		if r.TakeMark(false, false) == packet.ImportantData {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Fatalf("periodic marks after reset = %d, want exactly 1", got)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlt/internal/stats"
+)
+
+// AblationPeriodN probes the footnote of §5.2: rate-based TLT marks an
+// important packet every N data packets as an aid for timely loss
+// detection on long messages; the paper reports tail FCT differs by less
+// than 3% between N=96 and N=384.
+func AblationPeriodN(scale Scale) *Report {
+	rep := &Report{
+		ID:     "ablation-n",
+		Title:  "Rate-based periodic marking interval N (DCQCN+SACK+TLT)",
+		Header: []string{"N", "fg p99.9 FCT", "fg p99 FCT", "bg avg FCT", "imp frac", "timeouts/1k"},
+	}
+	ns := []int{48, 96, 192, 384}
+	if scale.AppPoints > 0 && scale.AppPoints < len(ns) {
+		ns = ns[:scale.AppPoints]
+	}
+	for _, n := range ns {
+		v := Variant{Transport: "dcqcn-sack", TLT: true, PeriodN: n}
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+			func(r *Result) []float64 {
+				return []float64{r.FgP(0.999), r.FgP(0.99), r.BgMean(),
+					r.Rec.ImportantFraction(), r.TimeoutsPer1k()}
+			})
+		rep.AddRow(fmt.Sprintf("%d", n),
+			meanStdDur(ms[0]), meanStdDur(ms[1]), meanStdDur(ms[2]),
+			fmt.Sprintf("%.2f%%", stats.Mean(ms[3])*100),
+			fmt.Sprintf("%.1f", stats.Mean(ms[4])))
+	}
+	rep.Note("paper §5.2 footnote: tail FCT differs <3%% between N=96 and N=384")
+	return rep
+}
+
+// AblationAlpha probes §4.2's buffer-model parameter: the dynamic
+// threshold alpha trades buffer utilization (large alpha) against
+// short-term fairness between ports (small alpha). The paper uses
+// alpha=1 to balance.
+func AblationAlpha(scale Scale) *Report {
+	rep := &Report{
+		ID:     "ablation-alpha",
+		Title:  "Dynamic-threshold alpha (DCTCP+TLT, no PFC)",
+		Header: []string{"alpha", "fg p99.9 FCT", "bg avg FCT", "imp loss rate", "max queue"},
+	}
+	// Small alphas cap queues *below* the color threshold, breaking the
+	// headroom reservation TLT depends on — the interesting regime.
+	alphas := []float64{0.05, 0.1, 0.25, 1, 4}
+	if scale.AppPoints > 0 && scale.AppPoints < len(alphas) {
+		alphas = alphas[:scale.AppPoints]
+	}
+	for _, a := range alphas {
+		v := Variant{Transport: "dctcp", TLT: true}
+		rc := RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}
+		var maxQ float64
+		ms := seedMetricsAlpha(rc, a, scale.Seeds, func(r *Result) []float64 {
+			if q := float64(r.MaxQ); q > maxQ {
+				maxQ = q
+			}
+			return []float64{r.FgP(0.999), r.BgMean(), r.ImpLossRate()}
+		})
+		rep.AddRow(fmt.Sprintf("%.2f", a),
+			meanStdDur(ms[0]), meanStdDur(ms[1]),
+			fmt.Sprintf("%.2e", stats.Mean(ms[2])),
+			fmt.Sprintf("%.0fkB", maxQ/1000))
+	}
+	rep.Note("paper §4.2: alpha=1 balances buffer utilization against per-port fairness")
+	return rep
+}
+
+// seedMetricsAlpha is seedMetrics with a dynamic-threshold override.
+func seedMetricsAlpha(rc RunConfig, alpha float64, seeds int, metric func(*Result) []float64) [][]float64 {
+	var out [][]float64
+	for seed := 0; seed < seeds; seed++ {
+		rc.Seed = int64(seed + 1)
+		rc.AlphaOverride = alpha
+		res := Run(rc)
+		m := metric(res)
+		for len(out) < len(m) {
+			out = append(out, nil)
+		}
+		for i, x := range m {
+			out[i] = append(out[i], x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tlt/internal/sim"
+)
+
+func tinyScale() Scale { return Scale{BgFlows: 40, Seeds: 1, AppPoints: 1} }
+
+func TestVariantNames(t *testing.T) {
+	cases := []struct {
+		v    Variant
+		want string
+	}{
+		{Variant{Transport: "dctcp"}, "dctcp"},
+		{Variant{Transport: "dctcp", TLT: true, PFC: true}, "dctcp+tlt+pfc"},
+		{Variant{Transport: "tcp", RTOMin: 200 * sim.Microsecond}, "tcp+rtomin200.000us"},
+		{Variant{Transport: "dctcp", FixedRTO: 160 * sim.Microsecond}, "dctcp+rto160.000us"},
+		{Variant{Transport: "tcp", TLP: true}, "tcp+tlp"},
+	}
+	for _, c := range cases {
+		if got := c.v.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestVariantFamilies(t *testing.T) {
+	if (Variant{Transport: "dctcp"}).IsRoCE() {
+		t.Fatal("dctcp is not RoCE")
+	}
+	if !(Variant{Transport: "hpcc"}).IsRoCE() {
+		t.Fatal("hpcc is RoCE")
+	}
+	if d := (Variant{Transport: "tcp"}).linkDelay(); d != 10*sim.Microsecond {
+		t.Fatalf("tcp link delay = %v", d)
+	}
+	if d := (Variant{Transport: "dcqcn"}).linkDelay(); d != sim.Microsecond {
+		t.Fatalf("roce link delay = %v", d)
+	}
+	if k := (Variant{Transport: "tcp", TLT: true}).colorThreshold(); k != 400_000 {
+		t.Fatalf("tcp color threshold = %d", k)
+	}
+	if k := (Variant{Transport: "hpcc", TLT: true}).colorThreshold(); k != 200_000 {
+		t.Fatalf("roce color threshold = %d", k)
+	}
+	if k := (Variant{Transport: "tcp"}).colorThreshold(); k != 0 {
+		t.Fatal("non-TLT variant must disable color dropping")
+	}
+}
+
+func TestSwitchConfigPerVariant(t *testing.T) {
+	sc := Variant{Transport: "dctcp", PFC: true}.switchConfig()
+	if sc.KEcn != 200_000 || !sc.PFC || sc.XOff == 0 {
+		t.Fatalf("dctcp+pfc config = %+v", sc)
+	}
+	sc = Variant{Transport: "hpcc"}.switchConfig()
+	if !sc.INT || sc.PFC {
+		t.Fatalf("hpcc config = %+v", sc)
+	}
+	sc = Variant{Transport: "dcqcn"}.switchConfig()
+	if sc.KMin == 0 || sc.KMax == 0 {
+		t.Fatalf("dcqcn ECN config = %+v", sc)
+	}
+}
+
+func TestRunProducesCompleteFlows(t *testing.T) {
+	res := Run(RunConfig{
+		Variant: Variant{Transport: "dctcp", TLT: true},
+		Traffic: trafficFor(tinyScale(), 0.4, 0.05),
+		Seed:    1,
+	})
+	if res.Incomplete != 0 {
+		t.Fatalf("%d flows incomplete", res.Incomplete)
+	}
+	if res.FlowCount == 0 || res.Rec.TimeoutsAll() > res.FlowCount {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.FgP(0.99) <= 0 {
+		t.Fatal("no foreground percentile")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig14c", "fig15",
+		"fig16", "fig17", "fig18", "table1", "dumbbell", "ablation-n", "ablation-alpha"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Note("hello %d", 7)
+	out := r.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Smoke-run the light experiments end to end at tiny scale.
+func TestFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"fig12", "fig13", "fig14", "fig14c"} {
+		e, _ := ByID(id)
+		rep := e.Run(tinyScale())
+		if len(rep.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		for _, row := range rep.Rows {
+			if len(row) != len(rep.Header) {
+				t.Fatalf("%s row width %d != header %d", id, len(row), len(rep.Header))
+			}
+		}
+	}
+}
+
+func TestLeafSpineFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"fig2", "fig10", "fig16"} {
+		e, _ := ByID(id)
+		rep := e.Run(tinyScale())
+		if len(rep.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// CSV renders the report as RFC-4180-ish comma-separated values with a
+// header row. Cells containing commas or quotes are quoted.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, r.Header)
+	for _, row := range r.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// jsonReport is the stable JSON shape of a report.
+type jsonReport struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() (string, error) {
+	out, err := json.MarshalIndent(jsonReport{
+		ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := &Report{ID: "x", Title: "demo", Header: []string{"variant", "fct"}}
+	r.AddRow("dctcp", "1.2ms")
+	r.AddRow(`odd,cell"q`, "3.4ms")
+	r.Note("a note")
+	return r
+}
+
+func TestCSVExport(t *testing.T) {
+	out := sampleReport().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "variant,fct" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "dctcp,1.2ms" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Quoting of commas and embedded quotes.
+	if lines[2] != `"odd,cell""q",3.4ms` {
+		t.Fatalf("quoted row = %q", lines[2])
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	out, err := sampleReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded.ID != "x" || len(decoded.Rows) != 2 || decoded.Notes[0] != "a note" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Rows[1][0] != `odd,cell"q` {
+		t.Fatalf("row round-trip = %q", decoded.Rows[1][0])
+	}
+}

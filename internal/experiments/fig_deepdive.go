@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlt/internal/core"
+	"tlt/internal/stats"
+	"tlt/internal/workload"
+)
+
+// Fig8 reproduces Figure 8: foreground tail and background average FCT as
+// the color-aware dropping threshold varies, without (a) and with (b) PFC.
+func Fig8(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig8",
+		Title:  "FCT vs color-aware dropping threshold (DCTCP+TLT)",
+		Header: []string{"pfc", "K", "fg p99.9 FCT", "bg avg FCT", "imp loss rate", "pauses/1k"},
+	}
+	thresholds := []int64{200_000, 300_000, 400_000, 500_000, 700_000, 900_000, 1_100_000}
+	if scale.AppPoints > 0 && scale.AppPoints < len(thresholds) {
+		thresholds = thresholds[:scale.AppPoints]
+	}
+	for _, pfc := range []bool{false, true} {
+		for _, k := range thresholds {
+			v := Variant{Transport: "dctcp", TLT: true, PFC: pfc, ColorThreshold: k}
+			ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+				func(r *Result) []float64 {
+					return []float64{r.FgP(0.999), r.BgMean(), r.ImpLossRate(), r.PausesPer1k()}
+				})
+			rep.AddRow(fmt.Sprintf("%v", pfc), fmt.Sprintf("%dkB", k/1000),
+				meanStdDur(ms[0]), meanStdDur(ms[1]),
+				fmt.Sprintf("%.2e", stats.Mean(ms[2])),
+				fmt.Sprintf("%.1f", stats.Mean(ms[3])))
+		}
+	}
+	rep.Note("paper: larger K lowers bg FCT but raises fg tail; beyond ~700kB important drops appear (lossy)")
+	return rep
+}
+
+// Fig9 reproduces Figure 9: sensitivity to network load for HPCC+PFC and
+// DCTCP+PFC, with and without TLT.
+func Fig9(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig9",
+		Title:  "FCT vs load (PFC enabled)",
+		Header: []string{"variant", "load", "fg p99 FCT", "bg avg FCT"},
+	}
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	if scale.AppPoints > 0 && scale.AppPoints < len(loads) {
+		loads = loads[:scale.AppPoints]
+	}
+	variants := []Variant{
+		{Transport: "hpcc", PFC: true},
+		{Transport: "hpcc", TLT: true, PFC: true},
+		{Transport: "dctcp", PFC: true},
+		{Transport: "dctcp", TLT: true, PFC: true},
+	}
+	for _, v := range variants {
+		for _, load := range loads {
+			ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, load, 0.05)}, scale.Seeds,
+				func(r *Result) []float64 { return []float64{r.FgP(0.99), r.BgMean()} })
+			rep.AddRow(v.Name(), fmt.Sprintf("%.0f%%", load*100), meanStdDur(ms[0]), meanStdDur(ms[1]))
+		}
+	}
+	rep.Note("paper: TLT helps HPCC at all loads; DCTCP+TLT helps below ~50%% load, hurts bg beyond")
+	return rep
+}
+
+// Fig10 reproduces Figure 10: the fraction of traffic volume marked
+// important as the foreground share grows.
+func Fig10(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig10",
+		Title:  "Fraction of important packets vs foreground share (DCTCP+TLT, K=400kB)",
+		Header: []string{"fg share", "important fraction (bytes)"},
+	}
+	shares := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	if scale.AppPoints > 0 && scale.AppPoints < len(shares) {
+		shares = shares[:scale.AppPoints]
+	}
+	for _, share := range shares {
+		v := Variant{Transport: "dctcp", TLT: true}
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, share)}, scale.Seeds,
+			func(r *Result) []float64 { return []float64{r.Rec.ImportantFraction()} })
+		rep.AddRow(fmt.Sprintf("%.0f%%", share*100), fmt.Sprintf("%.2f%%", stats.Mean(ms[0])*100))
+	}
+	rep.Note("paper: 3.29%% by volume without foreground traffic, growing with fg share")
+	return rep
+}
+
+// Fig11 reproduces Figure 11: (a) important fraction vs the color
+// threshold, (b) queue sizes with and without TLT.
+func Fig11(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig11",
+		Title:  "Important fraction and queue length vs color threshold (DCTCP, load 40%, 5% fg)",
+		Header: []string{"variant", "K", "imp frac", "max queue", "max red queue", "median maxQ"},
+	}
+	thresholds := []int64{200_000, 400_000, 600_000, 800_000, 1_000_000}
+	if scale.AppPoints > 0 && scale.AppPoints < len(thresholds) {
+		thresholds = thresholds[:scale.AppPoints]
+	}
+	run := func(v Variant, k string) {
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), SampleQueues: true}, scale.Seeds,
+			func(r *Result) []float64 {
+				return []float64{r.Rec.ImportantFraction(), float64(r.MaxQ), float64(r.MaxRedQ), median(r.QSamples)}
+			})
+		rep.AddRow(v.Name(), k,
+			fmt.Sprintf("%.2f%%", stats.Mean(ms[0])*100),
+			fmt.Sprintf("%.0fkB", stats.Mean(ms[1])/1000),
+			fmt.Sprintf("%.0fkB", stats.Mean(ms[2])/1000),
+			fmt.Sprintf("%.0fkB", stats.Mean(ms[3])/1000))
+	}
+	run(Variant{Transport: "dctcp"}, "-")
+	for _, k := range thresholds {
+		run(Variant{Transport: "dctcp", TLT: true, ColorThreshold: k}, fmt.Sprintf("%dkB", k/1000))
+	}
+	rep.Note("paper: vanilla DCTCP max queue reaches 2.18MB under bursts; TLT keeps unimportant queue under K and total 23%% lower")
+	return rep
+}
+
+// Fig16 reproduces Figure 16: the CDF of segment delivery time (first
+// transmission to acknowledgment) for DCTCP with and without TLT.
+func Fig16(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig16",
+		Title:  "Segment delivery time (DCTCP, no PFC)",
+		Header: []string{"variant", "p50", "p90", "p99", "p99.9"},
+	}
+	for _, v := range []Variant{
+		{Transport: "dctcp"},
+		{Transport: "dctcp", TLT: true},
+	} {
+		rc := RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), CollectDelivery: true, Seed: 1}
+		res := Run(rc)
+		xs := res.Rec.DeliverySamples.Samples()
+		rep.AddRow(v.Name(),
+			stats.FmtDur(stats.Percentile(xs, 0.5)),
+			stats.FmtDur(stats.Percentile(xs, 0.9)),
+			stats.FmtDur(stats.Percentile(xs, 0.99)),
+			stats.FmtDur(stats.Percentile(xs, 0.999)))
+	}
+	rep.Note("paper: TLT reduces p99 delivery by 22.8%% and p99.9 by 57.6%%")
+	return rep
+}
+
+// Fig17 reproduces Figure 17: the adaptive important ACK-clocking
+// ablation against always-1-byte and always-full-MTU payloads.
+func Fig17(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig17",
+		Title:  "Important ACK-clocking payload ablation (DCTCP+TLT+PFC)",
+		Header: []string{"clock mode", "fg p99.9 FCT", "fg p99 FCT", "clock bytes", "pauses/1k"},
+	}
+	modes := []struct {
+		name string
+		m    core.ClockMode
+	}{
+		{"adaptive", core.ClockAdaptive},
+		{"1-byte", core.ClockOneByte},
+		{"full-MTU", core.ClockFullMTU},
+	}
+	for _, md := range modes {
+		v := Variant{Transport: "dctcp", TLT: true, PFC: true, ClockMode: md.m}
+		var clockBytes int64
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+			func(r *Result) []float64 {
+				for _, fr := range r.Rec.Flows {
+					clockBytes += fr.ClockBytes
+				}
+				return []float64{r.FgP(0.999), r.FgP(0.99), r.PausesPer1k()}
+			})
+		rep.AddRow(md.name, meanStdDur(ms[0]), meanStdDur(ms[1]),
+			fmt.Sprintf("%d", clockBytes/int64(scale.Seeds)),
+			fmt.Sprintf("%.1f", stats.Mean(ms[2])))
+	}
+	rep.Note("paper: adaptive recovers ~as fast as full-MTU with 6.9x less clock bandwidth; 1-byte recovery is ~55x slower at p99")
+	return rep
+}
+
+// Fig18 reproduces Figure 18: FCT as the incast degree (flows per
+// foreground sender) varies.
+func Fig18(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig18",
+		Title:  "FCT vs incast degree (flows per sender)",
+		Header: []string{"variant", "flows/sender", "fg p99 FCT", "bg avg FCT"},
+	}
+	degrees := []int{2, 4, 6, 8, 10}
+	if scale.AppPoints > 0 && scale.AppPoints < len(degrees) {
+		degrees = degrees[:scale.AppPoints]
+	}
+	variants := []Variant{
+		{Transport: "tcp"},
+		{Transport: "tcp", TLT: true},
+		{Transport: "hpcc", PFC: true},
+		{Transport: "hpcc", TLT: true},
+	}
+	for _, v := range variants {
+		for _, d := range degrees {
+			tr := trafficFor(scale, 0.4, 0.05)
+			tr.FlowsPerSender = d
+			ms := seedMetrics(RunConfig{Variant: v, Traffic: tr}, scale.Seeds,
+				func(r *Result) []float64 { return []float64{r.FgP(0.99), r.BgMean()} })
+			rep.AddRow(v.Name(), fmt.Sprintf("%d", d), meanStdDur(ms[0]), meanStdDur(ms[1]))
+		}
+	}
+	rep.Note("paper: TLT's advantage grows with incast degree (up to 78.9%% for HPCC, 67%% for TCP)")
+	return rep
+}
+
+// Table1 reproduces Table 1: the loss rate of important packets across
+// color thresholds and foreground shares.
+func Table1(scale Scale) *Report {
+	rep := &Report{
+		ID:     "table1",
+		Title:  "Important packet loss rate vs threshold and fg share (no PFC)",
+		Header: []string{"variant", "fg share", "K=400kB", "K=500kB", "K=600kB"},
+	}
+	for _, base := range []string{"dctcp", "tcp"} {
+		for _, share := range []float64{0.05, 0.10} {
+			row := []string{base + "+tlt", fmt.Sprintf("%.0f%%", share*100)}
+			for _, k := range []int64{400_000, 500_000, 600_000} {
+				v := Variant{Transport: base, TLT: true, ColorThreshold: k}
+				ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.3, share)}, scale.Seeds,
+					func(r *Result) []float64 { return []float64{r.ImpLossRate()} })
+				row = append(row, fmt.Sprintf("%.2e", stats.Mean(ms[0])))
+			}
+			rep.AddRow(row...)
+		}
+	}
+	rep.Note("paper: zero important drops at K=400kB; loss grows with K and churn (up to 3.5e-3)")
+	return rep
+}
+
+// Fig15 reproduces Figure 15 (the appendix table): 99.9th percentile
+// foreground FCT across three workloads, four loads, and all transports.
+func Fig15(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig15",
+		Title:  "99.9% fg FCT (ms) for various workloads (Appendix B)",
+		Header: []string{"workload", "load", "dctcp", "+tlp", "+rto200", "+tlt", "tcp", "tcp+tlt", "dcqcn-sack+pfc", "dcqcn-sack+tlt", "irn", "irn+tlt", "hpcc+pfc", "hpcc+tlt"},
+	}
+	variants := []Variant{
+		{Transport: "dctcp"},
+		{Transport: "dctcp", TLP: true},
+		{Transport: "dctcp", RTOMin: 200_000},
+		{Transport: "dctcp", TLT: true},
+		{Transport: "tcp"},
+		{Transport: "tcp", TLT: true},
+		{Transport: "dcqcn-sack", PFC: true},
+		{Transport: "dcqcn-sack", TLT: true},
+		{Transport: "dcqcn-irn"},
+		{Transport: "dcqcn-irn", TLT: true},
+		{Transport: "hpcc", PFC: true},
+		{Transport: "hpcc", TLT: true},
+	}
+	workloads := []string{"websearch", "webserver", "cachefollower"}
+	loads := []float64{0.2, 0.3, 0.4, 0.5}
+	if scale.AppPoints > 0 {
+		if scale.AppPoints < len(workloads) {
+			workloads = workloads[:scale.AppPoints]
+		}
+		if scale.AppPoints < len(loads) {
+			loads = loads[:scale.AppPoints]
+		}
+	}
+	// Appendix B: 16 kB foreground flows, 4 per host, 30% default load.
+	for _, wl := range workloads {
+		dist, _ := workload.ByName(wl)
+		for _, load := range loads {
+			row := []string{wl, fmt.Sprintf("%.1f", load)}
+			for _, v := range variants {
+				tr := trafficFor(scale, load, 0.05)
+				tr.Dist = dist
+				tr.FgFlowSize = 16_000
+				tr.FlowsPerSender = 4
+				ms := seedMetrics(RunConfig{Variant: v, Traffic: tr}, 1,
+					func(r *Result) []float64 { return []float64{r.FgP(0.999)} })
+				row = append(row, fmt.Sprintf("%.2f", stats.Mean(ms[0])*1e3))
+			}
+			rep.AddRow(row...)
+		}
+	}
+	rep.Note("values in milliseconds; paper Figure 15 (single seed per cell)")
+	return rep
+}

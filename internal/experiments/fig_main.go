@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+)
+
+// tcpFig5Variants is the Figure 5 comparison matrix for one base
+// transport ("tcp" or "dctcp").
+func tcpFig5Variants(base string) []Variant {
+	return []Variant{
+		{Transport: base},                                // baseline, 4ms RTOmin
+		{Transport: base, TLP: true},                     // +TLP
+		{Transport: base, RTOMin: 200 * sim.Microsecond}, // high-perf timer
+		{Transport: base, TLT: true},                     // +TLT
+		{Transport: base, PFC: true},                     // lossless baseline
+		{Transport: base, TLT: true, PFC: true},          // TLT+PFC
+	}
+}
+
+// roceFig6Variants is the Figure 6 comparison matrix.
+func roceFig6Variants() []Variant {
+	var out []Variant
+	for _, tr := range []string{"hpcc", "dcqcn-irn", "dcqcn-sack", "dcqcn"} {
+		if tr == "dcqcn-irn" {
+			// IRN is evaluated lossy only (its whole point is removing PFC).
+			out = append(out,
+				Variant{Transport: tr},
+				Variant{Transport: tr, TLT: true},
+			)
+			continue
+		}
+		out = append(out,
+			Variant{Transport: tr, PFC: true},
+			Variant{Transport: tr},
+			Variant{Transport: tr, TLT: true},
+			Variant{Transport: tr, TLT: true, PFC: true},
+		)
+	}
+	return out
+}
+
+func fctTable(id, title string, variants []Variant, scale Scale, load, fgShare float64) *Report {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"variant", "fg p99.9 FCT", "fg p99 FCT", "bg avg FCT", "timeouts/1k", "incomplete"},
+	}
+	for _, v := range variants {
+		inc := 0
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, load, fgShare)}, scale.Seeds,
+			func(r *Result) []float64 {
+				inc += r.Incomplete
+				return []float64{r.FgP(0.999), r.FgP(0.99), r.BgMean(), r.TimeoutsPer1k()}
+			})
+		rep.AddRow(v.Name(),
+			meanStdDur(ms[0]), meanStdDur(ms[1]), meanStdDur(ms[2]),
+			fmt.Sprintf("%.1f", stats.Mean(ms[3])),
+			fmt.Sprintf("%d", inc))
+	}
+	return rep
+}
+
+// Fig5 reproduces Figure 5: FCT for TCP and DCTCP with different loss
+// recovery mechanisms, with and without PFC.
+func Fig5(scale Scale) *Report {
+	variants := append(tcpFig5Variants("dctcp"), tcpFig5Variants("tcp")...)
+	rep := fctTable("fig5", "FCT for TCP and DCTCP (load 40%, 5% fg, K=400kB)", variants, scale, 0.4, 0.05)
+	rep.Note("paper: TLT cuts DCTCP fg p99.9 by ~80.9%% vs baseline; PFC helps fg but inflates bg FCT")
+	return rep
+}
+
+// Fig6 reproduces Figure 6: FCT for HPCC and the DCQCN variants.
+func Fig6(scale Scale) *Report {
+	rep := fctTable("fig6", "FCT for HPCC and DCQCN variants (load 40%, 5% fg, K=200kB)", roceFig6Variants(), scale, 0.4, 0.05)
+	rep.Note("paper: TLT cuts HPCC fg p99.9 by 78.5%% (lossy) and IRN's by 55.6%%; vanilla DCQCN+PFC sees no gain")
+	return rep
+}
+
+// Fig7 reproduces Figure 7: timeouts per 1k flows, PAUSE frames per 1k
+// flows, and the fraction of link time spent paused.
+func Fig7(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig7",
+		Title:  "Timeouts/1k flows, PAUSE frames/1k flows, paused link-time (load 40%, 5% fg)",
+		Header: []string{"variant", "timeouts/1k", "pauses/1k", "paused-time", "imp loss rate"},
+	}
+	variants := []Variant{
+		{Transport: "dctcp"},
+		{Transport: "dctcp", TLP: true},
+		{Transport: "dctcp", RTOMin: 200 * sim.Microsecond},
+		{Transport: "dctcp", TLT: true},
+		{Transport: "dctcp", PFC: true},
+		{Transport: "dctcp", TLT: true, PFC: true},
+		{Transport: "tcp"},
+		{Transport: "tcp", TLT: true},
+		{Transport: "tcp", PFC: true},
+		{Transport: "tcp", TLT: true, PFC: true},
+		{Transport: "dcqcn-sack", PFC: true},
+		{Transport: "dcqcn-sack", TLT: true, PFC: true},
+	}
+	for _, v := range variants {
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+			func(r *Result) []float64 {
+				return []float64{r.TimeoutsPer1k(), r.PausesPer1k(), r.PausedFrac, r.ImpLossRate()}
+			})
+		rep.AddRow(v.Name(),
+			fmt.Sprintf("%.2f", stats.Mean(ms[0])),
+			fmt.Sprintf("%.1f", stats.Mean(ms[1])),
+			fmt.Sprintf("%.3f%%", stats.Mean(ms[2])*100),
+			fmt.Sprintf("%.2e", stats.Mean(ms[3])))
+	}
+	rep.Note("paper: DCTCP+TLT nearly eliminates timeouts; TLT cuts PAUSE frames 27.7%% (DCTCP) / 93.2%% (TCP)")
+	return rep
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/workload"
+)
+
+func trafficFor(scale Scale, load, fgShare float64) workload.TrafficConfig {
+	t := workload.DefaultTraffic(load, scale.BgFlows)
+	t.FgShare = fgShare
+	return t
+}
+
+// Fig1 reproduces Figure 1: the distribution of measured RTTs and the
+// resulting estimated RTO for DCTCP with RTOmin = 200 µs, showing that
+// bursty traffic inflates the estimator far beyond the RTT.
+func Fig1(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig1",
+		Title:  "CDF of RTT and calculated RTO (DCTCP, RTOmin=200us, load 40%, 5% fg)",
+		Header: []string{"class", "metric", "p50", "p90", "p99", ">1.1ms"},
+	}
+	rc := RunConfig{
+		Variant:    Variant{Transport: "dctcp", RTOMin: 200 * sim.Microsecond},
+		Traffic:    trafficFor(scale, 0.4, 0.05),
+		CollectRTT: true,
+		Seed:       1,
+	}
+	res := Run(rc)
+	add := func(class, metric string, r *stats.Reservoir) {
+		xs := r.Samples()
+		over := 0
+		for _, x := range xs {
+			if x > 1.1e-3 {
+				over++
+			}
+		}
+		frac := 0.0
+		if len(xs) > 0 {
+			frac = float64(over) / float64(len(xs))
+		}
+		rep.AddRow(class, metric,
+			stats.FmtDur(stats.Percentile(xs, 0.5)),
+			stats.FmtDur(stats.Percentile(xs, 0.9)),
+			stats.FmtDur(stats.Percentile(xs, 0.99)),
+			fmt.Sprintf("%.1f%%", frac*100))
+	}
+	add("background", "RTT", res.Rec.RTTSamplesBG)
+	add("background", "RTO", res.Rec.RTOSamplesBG)
+	add("foreground", "RTT", res.Rec.RTTSamplesFG)
+	add("foreground", "RTO", res.Rec.RTOSamplesFG)
+	rep.Note("paper: >10%% of foreground flows estimate RTO above 1.1 ms while p90 RTT is ~0.48 ms")
+	return rep
+}
+
+// Fig2 reproduces Figure 2: a fixed 160 µs RTO improves foreground tail
+// FCT but wrecks background flows through spurious timeouts.
+func Fig2(scale Scale) *Report {
+	rep := &Report{
+		ID:     "fig2",
+		Title:  "FCT with fixed 160us RTO vs 4ms RTOmin baseline (DCTCP, 15% fg)",
+		Header: []string{"variant", "fg p99 FCT", "bg avg FCT", "timeouts/1k"},
+	}
+	variants := []Variant{
+		{Transport: "dctcp"},
+		{Transport: "dctcp", FixedRTO: 160 * sim.Microsecond},
+	}
+	type row struct{ fg, bg, to []float64 }
+	rows := make([]row, len(variants))
+	for i, v := range variants {
+		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.15)}, scale.Seeds,
+			func(r *Result) []float64 {
+				return []float64{r.FgP(0.99), r.BgMean(), r.TimeoutsPer1k()}
+			})
+		rows[i] = row{ms[0], ms[1], ms[2]}
+		rep.AddRow(v.Name(), meanStdDur(ms[0]), meanStdDur(ms[1]),
+			fmt.Sprintf("%.1f", stats.Mean(ms[2])))
+	}
+	base, fixed := rows[0], rows[1]
+	if len(base.fg) > 0 && len(fixed.fg) > 0 {
+		rep.Note("fg p99 change: %+.0f%%; bg avg change: %+.0f%%; timeout ratio: %.1fx (paper: -41%%, +113%%, 51x)",
+			(stats.Mean(fixed.fg)/stats.Mean(base.fg)-1)*100,
+			(stats.Mean(fixed.bg)/stats.Mean(base.bg)-1)*100,
+			ratioOr(stats.Mean(fixed.to), stats.Mean(base.to)))
+	}
+	return rep
+}
+
+func ratioOr(a, b float64) float64 {
+	if b == 0 {
+		return a
+	}
+	return a / b
+}

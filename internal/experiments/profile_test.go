@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func BenchmarkRunDCTCPBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Run(RunConfig{
+			Variant: Variant{Transport: "dctcp"},
+			Traffic: trafficFor(Scale{BgFlows: 100}, 0.4, 0.05),
+			Seed:    1,
+		})
+		b.ReportMetric(float64(res.EventsRun), "events")
+		b.ReportMetric(float64(res.FlowCount), "flows")
+	}
+}

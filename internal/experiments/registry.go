@@ -1,0 +1,43 @@
+package experiments
+
+// Entry is one runnable experiment.
+type Entry struct {
+	ID   string
+	Desc string
+	Run  func(Scale) *Report
+}
+
+// All lists every reproduced table and figure, in paper order.
+var All = []Entry{
+	{"fig1", "CDF of RTT and calculated RTO (motivation)", Fig1},
+	{"fig2", "fixed 160us RTO vs baseline (motivation)", Fig2},
+	{"fig5", "FCT for TCP and DCTCP with loss-recovery variants", Fig5},
+	{"fig6", "FCT for HPCC and DCQCN variants", Fig6},
+	{"fig7", "timeouts, PAUSE frames and paused time", Fig7},
+	{"fig8", "FCT vs color-aware dropping threshold", Fig8},
+	{"fig9", "FCT vs network load", Fig9},
+	{"fig10", "important-packet fraction vs fg share", Fig10},
+	{"fig11", "important fraction and queue length vs threshold", Fig11},
+	{"fig12", "Redis SET burst: response time vs flows", Fig12},
+	{"fig13", "mixed traffic: fg tail and bg goodput", Fig13},
+	{"fig14", "testbed incast microbenchmark", Fig14},
+	{"fig14c", "incast FCT distribution at 100 flows", Fig14CDF},
+	{"fig15", "99.9% fg FCT across workloads and loads", Fig15},
+	{"fig16", "segment delivery time CDF", Fig16},
+	{"fig17", "adaptive important ACK-clocking ablation", Fig17},
+	{"fig18", "FCT vs incast degree", Fig18},
+	{"table1", "important packet loss rate", Table1},
+	{"dumbbell", "mixed traffic with PFC on a dumbbell (§7.4)", Dumbbell},
+	{"ablation-n", "periodic marking interval N (§5.2 footnote)", AblationPeriodN},
+	{"ablation-alpha", "dynamic threshold alpha (§4.2)", AblationAlpha},
+}
+
+// ByID returns the entry with the given ID.
+func ByID(id string) (Entry, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,94 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§2, §7, Appendix B). Each runner builds the
+// topology, generates the workload, executes the simulation across seeds,
+// and returns a Report with the same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Note appends a free-form footnote.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders an aligned plain-text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale controls experiment size. The paper's full scale (10k background
+// flows, 5 seeds) is expensive; Quick preserves the shape at a fraction
+// of the cost and Bench is for go test -bench smoke runs.
+type Scale struct {
+	BgFlows int
+	Seeds   int
+	// AppPoints trims sweep axes (request counts, fan-outs) for the
+	// application/microbenchmark figures; 0 means full axis.
+	AppPoints int
+}
+
+// QuickScale is the default for cmd/tltsim.
+func QuickScale() Scale { return Scale{BgFlows: 400, Seeds: 2} }
+
+// FullScale matches the paper's configuration.
+func FullScale() Scale { return Scale{BgFlows: 10000, Seeds: 5} }
+
+// BenchScale is a minimal smoke-scale for go test -bench.
+func BenchScale() Scale { return Scale{BgFlows: 60, Seeds: 1, AppPoints: 2} }

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"tlt/internal/fabric"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport"
+	"tlt/internal/transport/dcqcn"
+	"tlt/internal/transport/hpcc"
+	"tlt/internal/transport/tcp"
+	"tlt/internal/workload"
+)
+
+// RunConfig describes one leaf-spine simulation run.
+type RunConfig struct {
+	Variant Variant
+	Traffic workload.TrafficConfig
+	Seed    int64
+	Horizon sim.Time // 0 → last arrival + 3 s
+
+	// AlphaOverride replaces the dynamic-threshold parameter (ablation).
+	AlphaOverride float64
+
+	CollectDelivery bool
+	CollectRTT      bool
+	SampleQueues    bool
+}
+
+// Result aggregates everything a figure needs from one run.
+type Result struct {
+	Rec         *stats.Recorder
+	Ctr         fabric.Counters
+	PausedFrac  float64
+	Elapsed     sim.Time
+	FlowCount   int
+	Incomplete  int
+	MaxQ        int64     // max egress queue across the fabric
+	MaxRedQ     int64     // max red (unimportant) occupancy
+	QSamples    []float64 // sampled max-queue time series (bytes)
+	EventsRun   uint64
+	TrafficLast sim.Time // last flow arrival
+}
+
+// FgP returns the p-quantile of foreground FCTs in seconds.
+func (r *Result) FgP(p float64) float64 { return stats.Percentile(r.Rec.Select(true), p) }
+
+// BgMean returns the mean background FCT in seconds.
+func (r *Result) BgMean() float64 { return stats.Mean(r.Rec.Select(false)) }
+
+// BgP returns the p-quantile of background FCTs in seconds.
+func (r *Result) BgP(p float64) float64 { return stats.Percentile(r.Rec.Select(false), p) }
+
+// TimeoutsPer1k returns RTO expirations per thousand flows.
+func (r *Result) TimeoutsPer1k() float64 {
+	if r.FlowCount == 0 {
+		return 0
+	}
+	return float64(r.Rec.TimeoutsAll()) / float64(r.FlowCount) * 1000
+}
+
+// PausesPer1k returns PFC pause frames per thousand flows.
+func (r *Result) PausesPer1k() float64 {
+	if r.FlowCount == 0 {
+		return 0
+	}
+	return float64(r.Ctr.PauseFrames) / float64(r.FlowCount) * 1000
+}
+
+// ImpLossRate returns the loss rate of important (green) packets.
+func (r *Result) ImpLossRate() float64 {
+	den := r.Ctr.EnqGreen + r.Ctr.DropGreen
+	if den == 0 {
+		return 0
+	}
+	return float64(r.Ctr.DropGreen) / float64(den)
+}
+
+// Run executes one leaf-spine simulation.
+func Run(rc RunConfig) *Result {
+	s := sim.New()
+	v := rc.Variant
+
+	lsCfg := topo.DefaultLeafSpine(v.linkDelay())
+	lsCfg.Switch = v.switchConfig()
+	if rc.AlphaOverride > 0 {
+		lsCfg.Switch.Alpha = rc.AlphaOverride
+	}
+	lsCfg.SeedSalt = rc.Seed
+	net := topo.LeafSpine(s, lsCfg)
+
+	tr := rc.Traffic
+	tr.Seed = rc.Seed
+	flows := workload.Generate(tr, 1)
+
+	rec := stats.NewRecorder()
+	if rc.CollectDelivery {
+		rec.DeliverySamples = stats.NewReservoir(200_000, rc.Seed)
+	}
+	if rc.CollectRTT {
+		rec.RTTSamplesFG = stats.NewReservoir(100_000, rc.Seed)
+		rec.RTOSamplesFG = stats.NewReservoir(100_000, rc.Seed+1)
+		rec.RTTSamplesBG = stats.NewReservoir(100_000, rc.Seed+2)
+		rec.RTOSamplesBG = stats.NewReservoir(100_000, rc.Seed+3)
+	}
+
+	remaining := len(flows)
+	onDone := func(*stats.FlowRecord) {
+		remaining--
+		if remaining == 0 {
+			s.Stop()
+		}
+	}
+	startFlows(s, net, flows, v, rec, onDone)
+
+	var qSamples []float64
+	if rc.SampleQueues {
+		var sample func()
+		sample = func() {
+			maxQ := int64(0)
+			for _, sw := range net.Switches {
+				for p := 0; p < sw.NumPorts(); p++ {
+					if q := sw.QueueBytes(p); q > maxQ {
+						maxQ = q
+					}
+				}
+			}
+			qSamples = append(qSamples, float64(maxQ))
+			if remaining > 0 {
+				s.After(20*sim.Microsecond, sample)
+			}
+		}
+		s.After(0, sample)
+	}
+
+	last := sim.Time(0)
+	if len(flows) > 0 {
+		last = flows[len(flows)-1].Start
+	}
+	horizon := rc.Horizon
+	if horizon == 0 {
+		horizon = last + 3*sim.Second
+	}
+	end := s.Run(horizon)
+	net.FinishPausedClocks()
+
+	res := &Result{
+		Rec:         rec,
+		Ctr:         net.Counters(),
+		PausedFrac:  net.PausedFraction(end),
+		Elapsed:     end,
+		FlowCount:   len(flows),
+		Incomplete:  remaining,
+		QSamples:    qSamples,
+		EventsRun:   s.Processed,
+		TrafficLast: last,
+	}
+	for _, sw := range net.Switches {
+		for p := 0; p < sw.NumPorts(); p++ {
+			if q := sw.MaxQueueBytes(p); q > res.MaxQ {
+				res.MaxQ = q
+			}
+			if q := sw.MaxRedQueueBytes(p); q > res.MaxRedQ {
+				res.MaxRedQ = q
+			}
+		}
+	}
+	return res
+}
+
+// startFlows instantiates the right transport for every flow.
+func startFlows(s *sim.Sim, net *topo.Network, flows []*transport.Flow, v Variant,
+	rec *stats.Recorder, onDone func(*stats.FlowRecord)) {
+	switch v.Transport {
+	case "tcp", "dctcp":
+		cfg := v.tcpConfig()
+		for _, f := range flows {
+			tcp.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+		}
+	case "dcqcn", "dcqcn-sack", "dcqcn-irn":
+		cfg := v.dcqcnConfig()
+		for _, f := range flows {
+			dcqcn.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+		}
+	case "hpcc":
+		cfg := hpcc.DefaultConfig(net.BaseRTT + 2*sim.Microsecond)
+		cfg.TLT = v.dcqcnConfig().TLT
+		for _, f := range flows {
+			hpcc.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+		}
+	default:
+		panic("experiments: unknown transport " + v.Transport)
+	}
+}
+
+// seedMetrics runs rc across seeds and returns per-seed metric vectors.
+func seedMetrics(rc RunConfig, seeds int, metric func(*Result) []float64) [][]float64 {
+	var out [][]float64
+	for seed := 0; seed < seeds; seed++ {
+		rc.Seed = int64(seed + 1)
+		res := Run(rc)
+		m := metric(res)
+		for len(out) < len(m) {
+			out = append(out, nil)
+		}
+		for i, x := range m {
+			if !math.IsNaN(x) {
+				out[i] = append(out[i], x)
+			}
+		}
+	}
+	return out
+}
+
+// meanStd formats mean±std of xs as durations.
+func meanStdDur(xs []float64) string {
+	if len(xs) == 0 {
+		return "n/a"
+	}
+	m := stats.Mean(xs)
+	if len(xs) == 1 {
+		return stats.FmtDur(m)
+	}
+	return stats.FmtDur(m) + "±" + stats.FmtDur(stats.Stddev(xs))
+}
+
+// median returns the middle value.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

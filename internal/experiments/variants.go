@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/sim"
+	"tlt/internal/transport"
+	"tlt/internal/transport/dcqcn"
+	"tlt/internal/transport/tcp"
+)
+
+// Variant identifies one transport configuration from the paper's
+// comparison matrix.
+type Variant struct {
+	Transport string // tcp | dctcp | dcqcn | dcqcn-sack | dcqcn-irn | hpcc
+
+	RTOMin   sim.Time // TCP family: minimum RTO (0 → 4 ms baseline)
+	FixedRTO sim.Time // TCP family: static RTO (Fig. 2)
+	TLP      bool
+
+	TLT       bool
+	ClockMode core.ClockMode
+	PeriodN   int // rate-based TLT periodic marking (0 → 96)
+
+	PFC bool
+
+	// ColorThreshold overrides the TLT color-aware dropping threshold
+	// (0 → 400 kB for the TCP family, 200 kB for RoCE).
+	ColorThreshold int64
+}
+
+// IsRoCE reports whether the variant uses the RoCE fabric (1 µs links).
+func (v Variant) IsRoCE() bool {
+	switch v.Transport {
+	case "dcqcn", "dcqcn-sack", "dcqcn-irn", "hpcc":
+		return true
+	}
+	return false
+}
+
+// Name renders a compact label such as "dctcp+tlt+pfc".
+func (v Variant) Name() string {
+	n := v.Transport
+	switch {
+	case v.FixedRTO > 0:
+		n += fmt.Sprintf("+rto%v", v.FixedRTO)
+	case v.RTOMin > 0 && v.RTOMin != 4*sim.Millisecond:
+		n += fmt.Sprintf("+rtomin%v", v.RTOMin)
+	}
+	if v.TLP {
+		n += "+tlp"
+	}
+	if v.TLT {
+		n += "+tlt"
+		switch v.ClockMode {
+		case core.ClockOneByte:
+			n += "(1B)"
+		case core.ClockFullMTU:
+			n += "(MTU)"
+		}
+	}
+	if v.PFC {
+		n += "+pfc"
+	}
+	return n
+}
+
+// colorThreshold returns the effective TLT threshold.
+func (v Variant) colorThreshold() int64 {
+	if !v.TLT {
+		return 0
+	}
+	if v.ColorThreshold > 0 {
+		return v.ColorThreshold
+	}
+	if v.IsRoCE() {
+		return 200_000
+	}
+	return 400_000
+}
+
+// linkDelay returns the per-link latency of the fabric for this family.
+func (v Variant) linkDelay() sim.Time {
+	if v.IsRoCE() {
+		return sim.Microsecond
+	}
+	return 10 * sim.Microsecond
+}
+
+// switchConfig builds the fabric switch configuration (Ports and
+// BufferBytes are filled by the topology builder).
+func (v Variant) switchConfig() fabric.SwitchConfig {
+	sc := fabric.SwitchConfig{
+		BufferBytes:    4_500_000,
+		Alpha:          1,
+		ColorThreshold: v.colorThreshold(),
+	}
+	switch v.Transport {
+	case "dctcp":
+		sc.ECN = fabric.ECNStep
+		sc.KEcn = 200_000
+	case "dcqcn", "dcqcn-sack", "dcqcn-irn":
+		// RED marking tuned so DCQCN's fixed-point queue sits well
+		// below the 200 kB color threshold (§4.2: K must exceed the
+		// steady-state queue, here Kmax).
+		sc.ECN = fabric.ECNRed
+		sc.KMin = 50_000
+		sc.KMax = 200_000
+		sc.PMax = 0.2
+	case "hpcc":
+		sc.INT = true
+	}
+	if v.PFC {
+		sc.PFC = true
+		// Static per-ingress XOFF sized so all ports can hit XOFF and
+		// in-flight headroom still fits the shared buffer.
+		sc.XOff = sc.BufferBytes / (2 * 12)
+		sc.XOn = sc.XOff - 2*int64(transport.MSS+48)
+	}
+	return sc
+}
+
+func (v Variant) tcpConfig() tcp.Config {
+	var cfg tcp.Config
+	if v.Transport == "dctcp" {
+		cfg = tcp.DCTCPConfig()
+	} else {
+		cfg = tcp.DefaultConfig()
+	}
+	if v.RTOMin > 0 {
+		cfg.RTO.Min = v.RTOMin
+	}
+	if v.FixedRTO > 0 {
+		cfg.RTO.Fixed = v.FixedRTO
+	}
+	cfg.TLP = v.TLP
+	cfg.TLT = core.Config{Enabled: v.TLT, Clock: v.ClockMode}
+	return cfg
+}
+
+func (v Variant) dcqcnConfig() dcqcn.Config {
+	var mode dcqcn.Mode
+	switch v.Transport {
+	case "dcqcn":
+		mode = dcqcn.GBN
+	case "dcqcn-sack":
+		mode = dcqcn.SACK
+	case "dcqcn-irn":
+		mode = dcqcn.IRN
+	}
+	cfg := dcqcn.DefaultConfig(mode)
+	n := v.PeriodN
+	if n == 0 {
+		n = 96
+	}
+	cfg.TLT = core.Config{Enabled: v.TLT, Clock: v.ClockMode, PeriodN: n}
+	return cfg
+}

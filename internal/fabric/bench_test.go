@@ -1,0 +1,55 @@
+package fabric
+
+import (
+	"testing"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// BenchmarkSwitchForwarding measures the end-to-end per-packet cost of
+// the data plane: host NIC -> switch MMU -> egress -> delivery.
+func BenchmarkSwitchForwarding(b *testing.B) {
+	s := sim.New()
+	cfg := SwitchConfig{Ports: 2, BufferBytes: 1 << 22, Alpha: 1, ECN: ECNStep, KEcn: 1 << 20}
+	sw := NewSwitch(s, 100, sim.NewRNG(1), cfg)
+	h := NewHost(s, 0)
+	k := &sink{id: 1}
+	Connect(s, h, 0, sw, 0, 400e9, sim.Microsecond)
+	Connect(s, k, 0, sw, 1, 400e9, sim.Microsecond)
+	sw.SetRoute(1, []int{1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Send(&packet.Packet{Flow: 1, Dst: 1, Type: packet.Data, Len: 1000})
+		if i%256 == 255 {
+			s.RunAll()
+			k.got = k.got[:0]
+		}
+	}
+	s.RunAll()
+}
+
+// BenchmarkColorAdmission isolates the MMU admission decision.
+func BenchmarkColorAdmission(b *testing.B) {
+	s := sim.New()
+	cfg := SwitchConfig{Ports: 2, BufferBytes: 1 << 22, Alpha: 1, ColorThreshold: 1 << 18}
+	sw := NewSwitch(s, 100, sim.NewRNG(1), cfg)
+	h := NewHost(s, 0)
+	k := &sink{id: 1}
+	Connect(s, h, 0, sw, 0, 400e9, sim.Microsecond)
+	Connect(s, k, 0, sw, 1, 400e9, sim.Microsecond)
+	sw.SetRoute(1, []int{1})
+	sw.Tx(1).Pause() // queue builds; admission exercises both branches
+	marks := [2]packet.Mark{packet.Unimportant, packet.ImportantData}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.enqueue(&packet.Packet{Flow: 1, Dst: 1, Type: packet.Data, Len: 1000, Mark: marks[i%2]}, 0, 1)
+		if sw.BufferUsed() > 1<<21 {
+			b.StopTimer()
+			sw.Tx(1).Resume()
+			s.RunAll()
+			sw.Tx(1).Pause()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// TestMMUInvariantsUnderRandomTraffic drives random packet mixes through
+// a small switch and checks the shared-buffer bookkeeping invariants the
+// whole reproduction depends on:
+//
+//   - buffer occupancy equals the sum of queue depths at all times,
+//   - occupancy never exceeds capacity and returns to zero after drain,
+//   - red queue depth never exceeds the color threshold by more than one
+//     packet,
+//   - every packet is either delivered exactly once or counted dropped.
+func TestMMUInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		s := sim.New()
+		cfg := SwitchConfig{
+			Ports:          4,
+			BufferBytes:    60_000 + int64(rng.Intn(100_000)),
+			Alpha:          []float64{0.5, 1, 2}[rng.Intn(3)],
+			ColorThreshold: int64(rng.Intn(40_000)),
+			ECN:            ECNStep,
+			KEcn:           20_000,
+		}
+		sw := NewSwitch(s, 100, sim.NewRNG(seed+1), cfg)
+		hosts := make([]*Host, 2)
+		sinks := make([]*sink, 2)
+		for i := range hosts {
+			hosts[i] = NewHost(s, packet.NodeID(i))
+			Connect(s, hosts[i], 0, sw, i, 40e9, sim.Microsecond)
+		}
+		for i := range sinks {
+			sinks[i] = &sink{id: packet.NodeID(2 + i)}
+			Connect(s, sinks[i], 0, sw, 2+i, 10e9, sim.Microsecond) // slower egress: queues build
+			sw.SetRoute(packet.NodeID(2+i), []int{2 + i})
+		}
+
+		sent := 0
+		for i := 0; i < 400; i++ {
+			at := sim.Time(rng.Intn(40)) * sim.Microsecond
+			h := hosts[rng.Intn(2)]
+			mark := packet.Unimportant
+			if rng.Intn(3) == 0 {
+				mark = packet.ImportantData
+			}
+			pkt := &packet.Packet{
+				Flow: packet.FlowID(rng.Intn(8) + 1),
+				Dst:  packet.NodeID(2 + rng.Intn(2)),
+				Type: packet.Data,
+				Len:  rng.Intn(1400) + 1,
+				Mark: mark,
+				ECT:  rng.Intn(2) == 0,
+			}
+			sent++
+			s.At(at, func() { h.Send(pkt) })
+		}
+
+		// Invariant sweeps while traffic flows.
+		ok := true
+		var sweep func()
+		sweep = func() {
+			var q int64
+			for p := 0; p < sw.NumPorts(); p++ {
+				q += sw.QueueBytes(p)
+				if sw.cfg.ColorThreshold > 0 && sw.RedQueueBytes(p) > sw.cfg.ColorThreshold+1448 {
+					ok = false
+				}
+			}
+			if q != sw.BufferUsed() || q > sw.cfg.BufferBytes {
+				ok = false
+			}
+			if s.Pending() > 0 {
+				s.After(3*sim.Microsecond, sweep)
+			}
+		}
+		s.After(0, sweep)
+		s.RunAll()
+
+		if sw.BufferUsed() != 0 {
+			return false
+		}
+		delivered := len(sinks[0].got) + len(sinks[1].got)
+		dropped := int(sw.Ctr.TotalDrops())
+		return ok && delivered+dropped == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiQueueAccounting repeats the bookkeeping check with two
+// traffic classes per port.
+func TestMultiQueueAccounting(t *testing.T) {
+	s := sim.New()
+	cfg := SwitchConfig{
+		Ports:          2,
+		BufferBytes:    200_000,
+		TrafficClasses: 2,
+		ColorThreshold: 20_000,
+	}
+	sw := NewSwitch(s, 100, sim.NewRNG(1), cfg)
+	h := NewHost(s, 0)
+	k := &sink{id: 1}
+	Connect(s, h, 0, sw, 0, 40e9, sim.Microsecond)
+	Connect(s, k, 0, sw, 1, 10e9, sim.Microsecond)
+	sw.SetRoute(1, []int{1})
+	for i := 0; i < 100; i++ {
+		h.Send(&packet.Packet{Flow: 1, Dst: 1, Type: packet.Data, Len: 900, TC: uint8(i % 2)})
+	}
+	s.RunAll()
+	if sw.BufferUsed() != 0 {
+		t.Fatalf("buffer used = %d after drain", sw.BufferUsed())
+	}
+	got := int64(len(k.got)) + sw.Ctr.TotalDrops()
+	if got != 100 {
+		t.Fatalf("delivered+dropped = %d, want 100", got)
+	}
+	// Per-class order is preserved even though classes interleave.
+	lastSeq := map[uint8]int64{0: -1, 1: -1}
+	for i, p := range k.got {
+		if int64(i) < lastSeq[p.TC] {
+			t.Fatal("per-class reordering")
+		}
+	}
+}

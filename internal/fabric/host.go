@@ -1,0 +1,114 @@
+package fabric
+
+import (
+	"fmt"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// PacketHandler consumes packets delivered to a host for one flow.
+type PacketHandler interface {
+	Handle(pkt *packet.Packet)
+}
+
+// Host is an end host with a single NIC port. Transport endpoints
+// register per-flow handlers; outbound packets share one FIFO NIC queue
+// that honors PFC pause from the ToR.
+type Host struct {
+	id  packet.NodeID
+	sim *sim.Sim
+
+	tx    *Tx
+	queue []*packet.Packet
+	pop   int
+
+	handlers map[packet.FlowID]PacketHandler
+
+	// Trace, when set, observes every packet the host sends ("tx") and
+	// receives ("rx"). Used by the trace package; nil in normal runs.
+	Trace func(now sim.Time, dir string, pkt *packet.Packet)
+}
+
+// NewHost constructs a host.
+func NewHost(s *sim.Sim, id packet.NodeID) *Host {
+	return &Host{id: id, sim: s, handlers: make(map[packet.FlowID]PacketHandler)}
+}
+
+// ID returns the host's node ID.
+func (h *Host) ID() packet.NodeID { return h.id }
+
+// NICTx returns the host's transmitter (for pause accounting in tests).
+func (h *Host) NICTx() *Tx { return h.tx }
+
+// QueuedPackets returns the NIC backlog length.
+func (h *Host) QueuedPackets() int { return len(h.queue) - h.pop }
+
+// Register installs the handler for a flow's packets arriving at this host.
+func (h *Host) Register(flow packet.FlowID, ep PacketHandler) {
+	h.handlers[flow] = ep
+}
+
+// Unregister removes a flow's handler.
+func (h *Host) Unregister(flow packet.FlowID) {
+	delete(h.handlers, flow)
+}
+
+// Send stamps the source and queues the packet on the NIC.
+func (h *Host) Send(pkt *packet.Packet) {
+	pkt.Src = h.id
+	if h.Trace != nil {
+		h.Trace(h.sim.Now(), "tx", pkt)
+	}
+	h.queue = append(h.queue, pkt)
+	h.tx.Kick()
+}
+
+func (h *Host) attach(port int, tx *Tx) {
+	if port != 0 {
+		panic(fmt.Sprintf("host %d: only port 0 exists, got %d", h.id, port))
+	}
+	h.tx = tx
+	tx.dequeue = h.dequeue
+}
+
+func (h *Host) dequeue() *packet.Packet {
+	if h.pop >= len(h.queue) {
+		h.queue = h.queue[:0]
+		h.pop = 0
+		return nil
+	}
+	pkt := h.queue[h.pop]
+	h.queue[h.pop] = nil
+	h.pop++
+	if h.pop == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.pop = 0
+	} else if h.pop > 1024 && h.pop*2 > len(h.queue) {
+		n := copy(h.queue, h.queue[h.pop:])
+		h.queue = h.queue[:n]
+		h.pop = 0
+	}
+	return pkt
+}
+
+// Receive implements Device: demultiplex to the flow's endpoint, or react
+// to PFC control frames.
+func (h *Host) Receive(pkt *packet.Packet, inPort int) {
+	switch pkt.Type {
+	case packet.Pause:
+		h.tx.Pause()
+		return
+	case packet.Resume:
+		h.tx.Resume()
+		return
+	}
+	if h.Trace != nil {
+		h.Trace(h.sim.Now(), "rx", pkt)
+	}
+	if ep, ok := h.handlers[pkt.Flow]; ok {
+		ep.Handle(pkt)
+	}
+	// Packets for unknown flows (e.g. stragglers after a flow finished)
+	// are dropped silently, as a real stack would RST/ignore.
+}

@@ -1,0 +1,423 @@
+package fabric
+
+import (
+	"fmt"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// ECNMode selects the marking discipline at egress queues.
+type ECNMode uint8
+
+// Marking disciplines.
+const (
+	ECNOff  ECNMode = iota
+	ECNStep         // DCTCP: mark all when instantaneous queue > KEcn
+	ECNRed          // DCQCN: probabilistic between KMin and KMax
+)
+
+// SwitchConfig models the shared-buffer memory management unit of a
+// commodity chip plus the features TLT relies on.
+type SwitchConfig struct {
+	Ports       int
+	BufferBytes int64   // total shared buffer
+	Alpha       float64 // dynamic threshold parameter (Choudhury–Hahne)
+
+	// TrafficClasses is the number of egress queues per port (default
+	// 1). With more than one class, packets are enqueued by their TC
+	// field and the port serves classes round-robin. This models the
+	// paper's incremental-deployment mode (§5.3): TLT traffic rides a
+	// dedicated queue (class 0) with color-aware dropping enabled while
+	// legacy traffic uses a separate queue without it.
+	TrafficClasses int
+
+	// ColorThreshold is the color-aware dropping threshold K: a red
+	// (unimportant) packet is dropped when the target egress queue
+	// already holds at least K bytes. Zero disables color-aware dropping
+	// (non-TLT operation). With multiple traffic classes, the threshold
+	// applies only to class 0 (the TLT queue).
+	ColorThreshold int64
+
+	ECN  ECNMode
+	KEcn int64 // step threshold
+	KMin int64 // RED min
+	KMax int64 // RED max
+	PMax float64
+
+	// PFC enables priority flow control: per-ingress-port accounting
+	// with XOFF/XON thresholds. When PFC is on, the egress dynamic
+	// threshold no longer drops (lossless class); only physical buffer
+	// exhaustion can drop.
+	PFC  bool
+	XOff int64
+	XOn  int64
+
+	// INT enables in-band network telemetry stamping (HPCC).
+	INT bool
+}
+
+func (c *SwitchConfig) classes() int {
+	if c.TrafficClasses <= 1 {
+		return 1
+	}
+	return c.TrafficClasses
+}
+
+// Counters aggregates data-plane statistics for one switch.
+type Counters struct {
+	DropRedColor   int64 // red dropped by color-aware threshold
+	DropDynamic    int64 // dropped by dynamic shared-buffer threshold
+	DropBufferFull int64 // dropped because the physical buffer was full
+	DropGreen      int64 // subset of the above that were green (important)
+	EnqGreen       int64
+	EnqRed         int64
+	ECNMarked      int64
+	PauseFrames    int64
+	ResumeFrames   int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(o *Counters) {
+	c.DropRedColor += o.DropRedColor
+	c.DropDynamic += o.DropDynamic
+	c.DropBufferFull += o.DropBufferFull
+	c.DropGreen += o.DropGreen
+	c.EnqGreen += o.EnqGreen
+	c.EnqRed += o.EnqRed
+	c.ECNMarked += o.ECNMarked
+	c.PauseFrames += o.PauseFrames
+	c.ResumeFrames += o.ResumeFrames
+}
+
+// TotalDrops returns all drops regardless of cause.
+func (c *Counters) TotalDrops() int64 {
+	return c.DropRedColor + c.DropDynamic + c.DropBufferFull
+}
+
+// swQueue is one egress FIFO (one traffic class of one port).
+type swQueue struct {
+	queue []*packet.Packet // FIFO; head at index pop
+	pop   int
+	bytes int64 // current depth in bytes
+	red   int64 // red bytes currently queued
+
+	maxBytes    int64 // high-water mark (Fig. 11b)
+	maxRedBytes int64
+}
+
+func (q *swQueue) push(pkt *packet.Packet) {
+	q.queue = append(q.queue, pkt)
+	sz := int64(pkt.WireSize())
+	q.bytes += sz
+	if pkt.Mark.Color() == packet.Red {
+		q.red += sz
+	}
+	if q.bytes > q.maxBytes {
+		q.maxBytes = q.bytes
+	}
+	if q.red > q.maxRedBytes {
+		q.maxRedBytes = q.red
+	}
+}
+
+func (q *swQueue) popFront() *packet.Packet {
+	if q.pop >= len(q.queue) {
+		return nil
+	}
+	pkt := q.queue[q.pop]
+	q.queue[q.pop] = nil
+	q.pop++
+	if q.pop == len(q.queue) {
+		q.queue = q.queue[:0]
+		q.pop = 0
+	} else if q.pop > 1024 && q.pop*2 > len(q.queue) {
+		n := copy(q.queue, q.queue[q.pop:])
+		q.queue = q.queue[:n]
+		q.pop = 0
+	}
+	sz := int64(pkt.WireSize())
+	q.bytes -= sz
+	if pkt.Mark.Color() == packet.Red {
+		q.red -= sz
+	}
+	return pkt
+}
+
+// swPort is one egress port: a set of class queues behind a transmitter,
+// plus PFC ingress accounting for the port in its ingress role.
+type swPort struct {
+	tx *Tx
+	qs []swQueue
+	rr int // round-robin pointer over classes
+
+	ingressBytes int64 // bytes buffered that arrived via this port (PFC)
+	sentXOff     bool
+}
+
+func (p *swPort) totalBytes() int64 {
+	var n int64
+	for i := range p.qs {
+		n += p.qs[i].bytes
+	}
+	return n
+}
+
+// Switch is a shared-buffer output-queued switch.
+type Switch struct {
+	id    packet.NodeID
+	sim   *sim.Sim
+	rng   *sim.RNG
+	cfg   SwitchConfig
+	ports []*swPort
+
+	used int64 // shared buffer occupancy
+
+	// routes maps destination host ID to the candidate egress ports
+	// (ECMP group), indexed densely by NodeID. Set by the topology
+	// builder; host IDs are small non-negative integers.
+	routes [][]int
+
+	// Ctr collects statistics.
+	Ctr Counters
+}
+
+// NewSwitch builds a switch with cfg.Ports ports.
+func NewSwitch(s *sim.Sim, id packet.NodeID, rng *sim.RNG, cfg SwitchConfig) *Switch {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	sw := &Switch{id: id, sim: s, rng: rng, cfg: cfg}
+	sw.ports = make([]*swPort, cfg.Ports)
+	for i := range sw.ports {
+		sw.ports[i] = &swPort{qs: make([]swQueue, cfg.classes())}
+	}
+	return sw
+}
+
+// ID returns the switch's node ID.
+func (sw *Switch) ID() packet.NodeID { return sw.id }
+
+// Config returns the switch configuration.
+func (sw *Switch) Config() SwitchConfig { return sw.cfg }
+
+// BufferUsed returns current shared-buffer occupancy in bytes.
+func (sw *Switch) BufferUsed() int64 { return sw.used }
+
+// QueueBytes returns the instantaneous depth of an egress port across
+// all its class queues.
+func (sw *Switch) QueueBytes(port int) int64 { return sw.ports[port].totalBytes() }
+
+// ClassQueueBytes returns the instantaneous depth of one class queue.
+func (sw *Switch) ClassQueueBytes(port, tc int) int64 { return sw.ports[port].qs[tc].bytes }
+
+// RedQueueBytes returns the red (unimportant) bytes on an egress port.
+func (sw *Switch) RedQueueBytes(port int) int64 {
+	var n int64
+	for i := range sw.ports[port].qs {
+		n += sw.ports[port].qs[i].red
+	}
+	return n
+}
+
+// MaxQueueBytes returns the high-water mark across the port's queues.
+func (sw *Switch) MaxQueueBytes(port int) int64 {
+	var n int64
+	for i := range sw.ports[port].qs {
+		if m := sw.ports[port].qs[i].maxBytes; m > n {
+			n = m
+		}
+	}
+	return n
+}
+
+// MaxRedQueueBytes returns the high-water mark of red bytes on a port.
+func (sw *Switch) MaxRedQueueBytes(port int) int64 {
+	var n int64
+	for i := range sw.ports[port].qs {
+		if m := sw.ports[port].qs[i].maxRedBytes; m > n {
+			n = m
+		}
+	}
+	return n
+}
+
+// Tx returns the transmitter for a port (for pause-time accounting).
+func (sw *Switch) Tx(port int) *Tx { return sw.ports[port].tx }
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// SetRoute installs the ECMP egress port group for a destination host.
+func (sw *Switch) SetRoute(dst packet.NodeID, egress []int) {
+	for int(dst) >= len(sw.routes) {
+		sw.routes = append(sw.routes, nil)
+	}
+	sw.routes[dst] = egress
+}
+
+func (sw *Switch) attach(port int, tx *Tx) {
+	p := sw.ports[port]
+	p.tx = tx
+	tx.dequeue = func() *packet.Packet { return sw.dequeue(port) }
+	if sw.cfg.INT {
+		tx.onTransmit = func(pkt *packet.Packet) {
+			if pkt.Type == packet.Data {
+				pkt.INT = append(pkt.INT, packet.INTHop{
+					QueueBytes: p.totalBytes(),
+					TxBytes:    tx.TxBytes,
+					Timestamp:  sw.sim.Now(),
+					RateBps:    tx.RateBps,
+				})
+			}
+		}
+	}
+}
+
+// ecmpHash deterministically selects among n equal-cost ports for a flow.
+func (sw *Switch) ecmpHash(flow packet.FlowID, n int) int {
+	x := uint64(flow) ^ (uint64(sw.id) * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// Receive implements Device: route, admit, enqueue.
+func (sw *Switch) Receive(pkt *packet.Packet, inPort int) {
+	switch pkt.Type {
+	case packet.Pause:
+		sw.ports[inPort].tx.Pause()
+		return
+	case packet.Resume:
+		sw.ports[inPort].tx.Resume()
+		return
+	}
+
+	if int(pkt.Dst) >= len(sw.routes) || len(sw.routes[pkt.Dst]) == 0 {
+		panic(fmt.Sprintf("switch %d: no route to %d", sw.id, pkt.Dst))
+	}
+	group := sw.routes[pkt.Dst]
+	egress := group[0]
+	if len(group) > 1 {
+		egress = group[sw.ecmpHash(pkt.Flow, len(group))]
+	}
+	sw.enqueue(pkt, inPort, egress)
+}
+
+func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
+	p := sw.ports[egress]
+	tc := int(pkt.TC)
+	if tc >= len(p.qs) {
+		tc = len(p.qs) - 1
+	}
+	q := &p.qs[tc]
+	size := int64(pkt.WireSize())
+	free := sw.cfg.BufferBytes - sw.used
+	green := pkt.Mark.Color() == packet.Green
+
+	// Admission control.
+	switch {
+	case free < size:
+		sw.drop(pkt, &sw.Ctr.DropBufferFull)
+		return
+	case tc == 0 && sw.cfg.ColorThreshold > 0 && !green && q.bytes >= sw.cfg.ColorThreshold:
+		// Color-aware dropping: the red class may not grow the queue
+		// past K. Green packets pass and use the headroom.
+		sw.Ctr.DropRedColor++
+		return
+	case !sw.cfg.PFC && float64(q.bytes)+float64(size) > sw.cfg.Alpha*float64(free):
+		// Dynamic shared-buffer threshold (lossy operation only; the
+		// lossless class relies on PFC instead of dropping).
+		sw.drop(pkt, &sw.Ctr.DropDynamic)
+		return
+	}
+
+	// ECN marking on the instantaneous queue at enqueue time.
+	if pkt.ECT && !pkt.CE {
+		switch sw.cfg.ECN {
+		case ECNStep:
+			if q.bytes+size > sw.cfg.KEcn {
+				pkt.CE = true
+				sw.Ctr.ECNMarked++
+			}
+		case ECNRed:
+			depth := q.bytes + size
+			var prob float64
+			switch {
+			case depth <= sw.cfg.KMin:
+				prob = 0
+			case depth >= sw.cfg.KMax:
+				prob = 1
+			default:
+				prob = sw.cfg.PMax * float64(depth-sw.cfg.KMin) / float64(sw.cfg.KMax-sw.cfg.KMin)
+			}
+			if prob > 0 && sw.rng.Float64() < prob {
+				pkt.CE = true
+				sw.Ctr.ECNMarked++
+			}
+		}
+	}
+
+	if green {
+		sw.Ctr.EnqGreen++
+	} else {
+		sw.Ctr.EnqRed++
+	}
+
+	pkt.EnqIngress = inPort
+	sw.used += size
+	q.push(pkt)
+
+	// PFC ingress accounting: pause the upstream transmitter when this
+	// ingress port's buffered bytes exceed XOFF.
+	if sw.cfg.PFC {
+		in := sw.ports[inPort]
+		in.ingressBytes += size
+		if !in.sentXOff && in.ingressBytes > sw.cfg.XOff {
+			in.sentXOff = true
+			sw.Ctr.PauseFrames++
+			in.tx.DeliverControl(&packet.Packet{Type: packet.Pause, Src: sw.id})
+		}
+	}
+
+	p.tx.Kick()
+}
+
+func (sw *Switch) drop(pkt *packet.Packet, ctr *int64) {
+	*ctr++
+	if pkt.Mark.Color() == packet.Green {
+		sw.Ctr.DropGreen++
+	}
+}
+
+// dequeue serves the port's class queues round-robin.
+func (sw *Switch) dequeue(port int) *packet.Packet {
+	p := sw.ports[port]
+	var pkt *packet.Packet
+	for i := 0; i < len(p.qs); i++ {
+		q := &p.qs[p.rr]
+		p.rr = (p.rr + 1) % len(p.qs)
+		if pkt = q.popFront(); pkt != nil {
+			break
+		}
+	}
+	if pkt == nil {
+		return nil
+	}
+	size := int64(pkt.WireSize())
+	sw.used -= size
+
+	if sw.cfg.PFC {
+		in := sw.ports[pkt.EnqIngress]
+		in.ingressBytes -= size
+		if in.sentXOff && in.ingressBytes <= sw.cfg.XOn {
+			in.sentXOff = false
+			sw.Ctr.ResumeFrames++
+			in.tx.DeliverControl(&packet.Packet{Type: packet.Resume, Src: sw.id})
+		}
+	}
+	return pkt
+}

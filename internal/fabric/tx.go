@@ -1,0 +1,200 @@
+// Package fabric models the network data plane: point-to-point links,
+// shared-buffer switches with color-aware dropping, ECN marking and PFC,
+// and host NICs. All behaviour is restricted to what commodity switching
+// chips (Broadcom Trident/Tomahawk class) expose, per the paper's
+// deployment-friendliness goal.
+package fabric
+
+import (
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// Device is anything with ports that can receive packets: a Switch or a Host.
+type Device interface {
+	ID() packet.NodeID
+	// Receive is called when a packet has fully arrived on inPort.
+	Receive(pkt *packet.Packet, inPort int)
+	// attach registers the transmitter serving outbound traffic on port.
+	attach(port int, tx *Tx)
+}
+
+// SerTime returns the serialization delay of size bytes at rateBps.
+func SerTime(size int, rateBps int64) sim.Time {
+	// ceil(size*8*1e9 / rateBps) in ns.
+	bits := int64(size) * 8
+	return sim.Time((bits*int64(sim.Second) + rateBps - 1) / rateBps)
+}
+
+// Wire is a unidirectional propagation-delay element between two ports.
+type Wire struct {
+	sim    *sim.Sim
+	delay  sim.Time
+	to     Device
+	toPort int
+
+	deliverFn func(any) // stored once to avoid per-packet closures
+
+	// Random non-congestion loss injection (cabling faults, silent
+	// corruption): every packet is dropped with probability lossRate.
+	lossRate float64
+	lossRng  *sim.RNG
+	// dropFilter, when set, drops every packet it returns true for
+	// (deterministic fault injection for scenario tests).
+	dropFilter func(*packet.Packet) bool
+	// Dropped counts injected losses.
+	Dropped int64
+}
+
+func newWire(s *sim.Sim, delay sim.Time, to Device, toPort int) *Wire {
+	w := &Wire{sim: s, delay: delay, to: to, toPort: toPort}
+	w.deliverFn = func(a any) { w.to.Receive(a.(*packet.Packet), w.toPort) }
+	return w
+}
+
+// Deliver schedules arrival of a fully-serialized packet after the
+// propagation delay (store-and-forward at the next hop).
+func (w *Wire) Deliver(pkt *packet.Packet) {
+	if w.lossRate > 0 && w.lossRng.Float64() < w.lossRate {
+		w.Dropped++
+		return
+	}
+	if w.dropFilter != nil && w.dropFilter(pkt) {
+		w.Dropped++
+		return
+	}
+	w.sim.PostArg(w.sim.Now()+w.delay, w.deliverFn, pkt)
+}
+
+// Tx serializes packets onto a wire at a fixed line rate, honoring PFC
+// pause. It pulls packets from its owner through the dequeue callback.
+type Tx struct {
+	sim     *sim.Sim
+	RateBps int64
+	wire    *Wire
+
+	busy   bool
+	paused bool
+
+	pausedSince sim.Time
+	// PausedTotal accumulates wall-clock time this transmitter spent in
+	// the PFC-paused state (for the paper's Fig. 7c).
+	PausedTotal sim.Time
+
+	// TxBytes counts cumulative bytes serialized, exposed via INT.
+	TxBytes int64
+
+	// dequeue returns the next packet to transmit or nil if none.
+	dequeue func() *packet.Packet
+	// onTransmit, if set, runs when a packet begins serialization (used
+	// by switches to stamp INT telemetry).
+	onTransmit func(*packet.Packet)
+
+	cur       *packet.Packet // packet currently serializing
+	serDoneFn func()         // stored completion callback
+}
+
+// Kick starts transmission if the link is idle and not paused.
+func (tx *Tx) Kick() {
+	if !tx.busy && !tx.paused {
+		tx.startNext()
+	}
+}
+
+func (tx *Tx) startNext() {
+	pkt := tx.dequeue()
+	if pkt == nil {
+		return
+	}
+	size := pkt.WireSize()
+	tx.TxBytes += int64(size)
+	if tx.onTransmit != nil {
+		tx.onTransmit(pkt)
+	}
+	tx.busy = true
+	tx.cur = pkt
+	tx.sim.Post(tx.sim.Now()+SerTime(size, tx.RateBps), tx.serDoneFn)
+}
+
+func (tx *Tx) serDone() {
+	tx.busy = false
+	pkt := tx.cur
+	tx.cur = nil
+	tx.wire.Deliver(pkt)
+	if !tx.paused {
+		tx.startNext()
+	}
+}
+
+// Pause stops the transmitter after the in-flight packet, per PFC
+// semantics (the current frame completes).
+func (tx *Tx) Pause() {
+	if tx.paused {
+		return
+	}
+	tx.paused = true
+	tx.pausedSince = tx.sim.Now()
+}
+
+// Resume restarts a paused transmitter.
+func (tx *Tx) Resume() {
+	if !tx.paused {
+		return
+	}
+	tx.paused = false
+	tx.PausedTotal += tx.sim.Now() - tx.pausedSince
+	if !tx.busy {
+		tx.startNext()
+	}
+}
+
+// Paused reports the PFC state.
+func (tx *Tx) Paused() bool { return tx.paused }
+
+// InjectLoss makes this direction of the link drop packets with the
+// given probability, modeling non-congestion losses (faulty optics,
+// silent corruption) that TLT explicitly does not protect against (§5).
+func (tx *Tx) InjectLoss(rate float64, rng *sim.RNG) {
+	tx.wire.lossRate = rate
+	tx.wire.lossRng = rng
+}
+
+// InjectedDrops returns the number of randomly dropped packets.
+func (tx *Tx) InjectedDrops() int64 { return tx.wire.Dropped }
+
+// DropWhen installs a deterministic drop predicate on this direction of
+// the link (nil clears it). Packets for which fn returns true vanish, as
+// if corrupted in flight. Scenario tests use it to reproduce the paper's
+// Figure 3/4 loss sequences exactly.
+func (tx *Tx) DropWhen(fn func(*packet.Packet) bool) {
+	tx.wire.dropFilter = fn
+}
+
+// FinishPausedClock folds an open pause interval into PausedTotal at the
+// end of a run so accounting is complete.
+func (tx *Tx) FinishPausedClock() {
+	if tx.paused {
+		tx.PausedTotal += tx.sim.Now() - tx.pausedSince
+		tx.pausedSince = tx.sim.Now()
+	}
+}
+
+// DeliverControl bypasses the queue and serialization for link-level
+// control frames (PFC PAUSE/RESUME are 64-byte frames with preemptive
+// priority; their serialization time is negligible at 40 Gbps).
+func (tx *Tx) DeliverControl(pkt *packet.Packet) {
+	tx.wire.Deliver(pkt)
+}
+
+// Connect joins a's port ap and b's port bp with a full-duplex link of the
+// given rate and one-way propagation delay, returning the two directional
+// transmitters (a→b, b→a).
+func Connect(s *sim.Sim, a Device, ap int, b Device, bp int, rateBps int64, delay sim.Time) (atx, btx *Tx) {
+	atx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, b, bp)}
+	btx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, a, ap)}
+	atx.serDoneFn = atx.serDone
+	btx.serDoneFn = btx.serDone
+	a.attach(ap, atx)
+	b.attach(bp, btx)
+	return atx, btx
+}

@@ -1,0 +1,73 @@
+package packet
+
+import "testing"
+
+func TestMarkColorMapping(t *testing.T) {
+	// Only Unimportant travels red; everything TLT tags is protected.
+	cases := []struct {
+		m    Mark
+		want Color
+	}{
+		{Unimportant, Red},
+		{ImportantData, Green},
+		{ImportantEcho, Green},
+		{ImportantClockData, Green},
+		{ImportantClockEcho, Green},
+		{ControlImportant, Green},
+	}
+	for _, c := range cases {
+		if got := c.m.Color(); got != c.want {
+			t.Errorf("%v.Color() = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	p := &Packet{Type: Data, Len: 1000}
+	if got := p.WireSize(); got != 1048 {
+		t.Fatalf("WireSize = %d, want 1048", got)
+	}
+	ack := &Packet{Type: Ack}
+	if got := ack.WireSize(); got != HeaderBytes {
+		t.Fatalf("pure ACK WireSize = %d, want %d", got, HeaderBytes)
+	}
+	// INT hops consume header space.
+	p.INT = append(p.INT, INTHop{}, INTHop{})
+	if got := p.WireSize(); got != 1048+16 {
+		t.Fatalf("WireSize with 2 INT hops = %d, want %d", got, 1048+16)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for _, typ := range []Type{Ack, Nack, Cnp, Pause, Resume} {
+		if !(&Packet{Type: typ}).IsControl() {
+			t.Errorf("%v should be control", typ)
+		}
+	}
+	if (&Packet{Type: Data}).IsControl() {
+		t.Error("Data should not be control")
+	}
+}
+
+func TestImportant(t *testing.T) {
+	if (&Packet{Mark: Unimportant}).Important() {
+		t.Error("unimportant packet reported important")
+	}
+	if !(&Packet{Mark: ImportantData}).Important() {
+		t.Error("ImportantData not reported important")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// Every enum value needs a printable name for traces.
+	for _, typ := range []Type{Data, Ack, Nack, Cnp, Pause, Resume} {
+		if typ.String() == "?" {
+			t.Errorf("Type %d has no name", typ)
+		}
+	}
+	for _, m := range []Mark{Unimportant, ImportantData, ImportantEcho, ImportantClockData, ImportantClockEcho, ControlImportant} {
+		if m.String() == "?" {
+			t.Errorf("Mark %d has no name", m)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer nanoseconds. Events scheduled for the same
+// instant fire in FIFO order of scheduling, which keeps runs fully
+// deterministic for a given seed and call sequence.
+//
+// The scheduler is a value-based 4-ary heap: the hot path (packet
+// serialization and propagation events) allocates nothing beyond what the
+// caller captures, which matters when runs process tens of millions of
+// events.
+package sim
+
+import "fmt"
+
+// Time is a simulated point in time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, usable as both instants and spans.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit for logs and test output.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// timerState is the cancellable handle state shared between a Timer and
+// its scheduled event.
+type timerState struct {
+	dead  bool
+	fired bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ts *timerState }
+
+// Stop cancels the timer. It is safe to call on a nil, already-fired, or
+// already-stopped timer. It reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ts == nil || t.ts.dead || t.ts.fired {
+		return false
+	}
+	t.ts.dead = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ts != nil && !t.ts.dead && !t.ts.fired
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO for equal timestamps
+
+	// Exactly one of fn / fnArg is set. fnArg avoids a closure
+	// allocation on the per-packet hot path.
+	fn    func()
+	fnArg func(any)
+	arg   any
+
+	ts *timerState // nil for uncancellable events
+}
+
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// Sim is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	heap    []event
+	stopped bool
+	// Processed counts events executed, for performance accounting.
+	Processed uint64
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+func (s *Sim) push(ev event) {
+	if ev.at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", ev.at, s.now))
+	}
+	ev.seq = s.seq
+	s.seq++
+	s.heap = append(s.heap, ev)
+	// Sift up (4-ary).
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.heap[i].before(&s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *Sim) pop() event {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{}
+	s.heap = h[:last]
+	h = s.heap
+	// Sift down (4-ary).
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(&h[m]) {
+				m = c
+			}
+		}
+		if !h[m].before(&h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// Post schedules fn at absolute time at with no cancellation handle.
+func (s *Sim) Post(at Time, fn func()) {
+	s.push(event{at: at, fn: fn})
+}
+
+// PostArg schedules fn(arg) at absolute time at with no cancellation
+// handle and no closure allocation.
+func (s *Sim) PostArg(at Time, fn func(any), arg any) {
+	s.push(event{at: at, fnArg: fn, arg: arg})
+}
+
+// At schedules fn to run at the absolute time at and returns a
+// cancellable handle. Scheduling in the past panics: it indicates a model
+// bug that would silently corrupt causality.
+func (s *Sim) At(at Time, fn func()) *Timer {
+	ts := &timerState{}
+	s.push(event{at: at, fn: fn, ts: ts})
+	return &Timer{ts: ts}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts the run loop after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue empties, Stop is called, or the
+// event horizon passes until (exclusive). It returns the simulation time
+// at exit.
+func (s *Sim) Run(until Time) Time {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].at > until {
+			break
+		}
+		ev := s.pop()
+		if ev.ts != nil {
+			if ev.ts.dead {
+				continue
+			}
+			ev.ts.fired = true
+		}
+		s.now = ev.at
+		s.Processed++
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.fnArg(ev.arg)
+		}
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (s *Sim) RunAll() Time {
+	const horizon = Time(1) << 62
+	return s.Run(horizon)
+}
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (s *Sim) Pending() int { return len(s.heap) }

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("now = %v, want 30", s.Now())
+	}
+}
+
+func TestFIFOForEqualTimestamps(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestRandomOrderExecutesSorted(t *testing.T) {
+	// Property: arbitrary insertion orders always execute in
+	// non-decreasing time order.
+	f := func(times []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, at := range times {
+			at := Time(at)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.RunAll()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 10 {
+			s.After(7, rec)
+		}
+	}
+	s.After(0, rec)
+	s.RunAll()
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Now() != 63 {
+		t.Fatalf("now = %v, want 63", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.At(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report success")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report failure")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	// Stopping after firing is a no-op.
+	tm2 := s.At(20, func() {})
+	s.RunAll()
+	if tm2.Stop() {
+		t.Fatal("Stop after fire should report failure")
+	}
+	if tm2.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() || nilTimer.Pending() {
+		t.Fatal("nil timer should be inert")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.Run(15)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 15", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.RunAll()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after RunAll", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {
+			n++
+			if n == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.RunAll()
+	if n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	// Run resumes after Stop.
+	s.RunAll()
+	if n != 10 {
+		t.Fatalf("executed %d events after resume, want 10", n)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.RunAll()
+}
+
+func TestPostArg(t *testing.T) {
+	s := New()
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	s.PostArg(5, fn, 42)
+	s.PostArg(3, fn, 7)
+	s.RunAll()
+	if len(got) != 2 || got[0] != 7 || got[1] != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() || a.Intn(100) != b.Intn(100) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	g := NewRNG(1)
+	const mean = Time(1000)
+	var sum int64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		d := g.ExpDuration(mean)
+		if d < 1 {
+			t.Fatal("duration below 1ns")
+		}
+		sum += int64(d)
+	}
+	got := float64(sum) / n
+	if got < 950 || got > 1050 {
+		t.Fatalf("empirical mean %.1f, want ~1000", got)
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		s.Post(s.Now()+Time(rng.Intn(1000)), fn)
+		if s.Pending() > 1024 {
+			s.Run(s.Now() + 500)
+		}
+	}
+	s.RunAll()
+}

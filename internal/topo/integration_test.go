@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"testing"
+
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+	"tlt/internal/transport/tcp"
+)
+
+// TestLeafSpinePFCLossless runs a hard incast over the full fabric with
+// PFC enabled and verifies the lossless property end to end: zero drops,
+// every flow completes, pauses happen and unwind (no deadlock — the
+// up/down routing of a leaf-spine is cycle-free).
+func TestLeafSpinePFCLossless(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultLeafSpine(10 * sim.Microsecond)
+	cfg.Switch.PFC = true
+	cfg.Switch.XOff = cfg.Switch.BufferBytes / (2 * 12)
+	cfg.Switch.XOn = cfg.Switch.XOff - 2096
+	cfg.Switch.ECN = fabric.ECNStep
+	cfg.Switch.KEcn = 200_000
+	n := LeafSpine(s, cfg)
+
+	rec := stats.NewRecorder()
+	tcfg := tcp.DCTCPConfig()
+	id := packet.FlowID(1)
+	// 95-to-1 incast of 8kB flows plus cross-rack background.
+	for h := 1; h < 96; h++ {
+		f := &transport.Flow{ID: id, Src: packet.NodeID(h), Dst: 0, Size: 8_000, FG: true}
+		id++
+		tcp.StartFlow(s, n.Hosts[h], n.Hosts[0], f, tcfg, rec, nil)
+	}
+	for i := 0; i < 8; i++ {
+		f := &transport.Flow{ID: id, Src: packet.NodeID(8 + i), Dst: packet.NodeID(80 + i), Size: 2_000_000}
+		id++
+		tcp.StartFlow(s, n.Hosts[8+i], n.Hosts[80+i], f, tcfg, rec, nil)
+	}
+	end := s.Run(5 * sim.Second)
+	n.FinishPausedClocks()
+
+	ctr := n.Counters()
+	if ctr.TotalDrops() != 0 {
+		t.Fatalf("PFC network dropped packets: %+v", ctr)
+	}
+	if ctr.PauseFrames == 0 {
+		t.Fatal("incast should trigger PFC PAUSE")
+	}
+	if ctr.ResumeFrames != ctr.PauseFrames {
+		t.Fatalf("pause/resume unbalanced at end: %d vs %d (stuck pause?)",
+			ctr.PauseFrames, ctr.ResumeFrames)
+	}
+	done, total := rec.CompletedCount(true)
+	if done != total {
+		t.Fatalf("%d/%d fg flows complete", done, total)
+	}
+	if d, tot := rec.CompletedCount(false); d != tot {
+		t.Fatalf("%d/%d bg flows complete", d, tot)
+	}
+	if rec.TimeoutsAll() != 0 {
+		t.Fatalf("timeouts in a lossless network: %d", rec.TimeoutsAll())
+	}
+	if frac := n.PausedFraction(end); frac <= 0 || frac > 0.5 {
+		t.Fatalf("paused fraction = %v", frac)
+	}
+}
+
+// TestLeafSpineTLTUnderChurn: repeated incast events with TLT on the
+// full fabric — no timeouts, no important drops, bounded red queues.
+func TestLeafSpineTLTUnderChurn(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultLeafSpine(10 * sim.Microsecond)
+	cfg.Switch.ColorThreshold = 400_000
+	cfg.Switch.ECN = fabric.ECNStep
+	cfg.Switch.KEcn = 200_000
+	n := LeafSpine(s, cfg)
+
+	rec := stats.NewRecorder()
+	tcfg := tcp.DCTCPConfig()
+	tcfg.TLT = core.Config{Enabled: true}
+	id := packet.FlowID(1)
+	for wave := 0; wave < 3; wave++ {
+		dst := packet.NodeID(wave * 13 % 96)
+		at := sim.Time(wave) * 500 * sim.Microsecond
+		for h := 0; h < 96; h++ {
+			if packet.NodeID(h) == dst {
+				continue
+			}
+			f := &transport.Flow{ID: id, Src: packet.NodeID(h), Dst: dst, Size: 8_000, Start: at, FG: true}
+			id++
+			tcp.StartFlow(s, n.Hosts[h], n.Hosts[dst], f, tcfg, rec, nil)
+		}
+	}
+	s.Run(5 * sim.Second)
+
+	if d, tot := rec.CompletedCount(true); d != tot {
+		t.Fatalf("%d/%d flows complete", d, tot)
+	}
+	if rec.TimeoutsAll() != 0 {
+		t.Fatalf("timeouts with TLT: %d", rec.TimeoutsAll())
+	}
+	ctr := n.Counters()
+	if ctr.DropGreen != 0 {
+		t.Fatalf("important drops: %d", ctr.DropGreen)
+	}
+	for _, sw := range n.Switches {
+		for p := 0; p < sw.NumPorts(); p++ {
+			if red := sw.MaxRedQueueBytes(p); red > 400_000+2096 {
+				t.Fatalf("red queue reached %d > K", red)
+			}
+		}
+	}
+}

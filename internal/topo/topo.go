@@ -1,0 +1,235 @@
+// Package topo builds the network topologies used by the paper's
+// evaluation: the 96-host leaf-spine fabric (§7.1), a single-switch star
+// (testbed microbenchmarks, §7.4), and a two-switch dumbbell (§7.4 mixed
+// traffic with PFC).
+package topo
+
+import (
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// Network is a built topology with routing installed.
+type Network struct {
+	Sim      *sim.Sim
+	Hosts    []*fabric.Host
+	Switches []*fabric.Switch
+	// Txs lists every fabric-side transmitter (switch→switch and
+	// switch→host and host→switch), for pause-time accounting.
+	Txs         []*fabric.Tx
+	LinkRateBps int64
+	// BaseRTT is the round-trip propagation+store-forward latency
+	// between two hosts under different ToRs (zero queueing), useful
+	// for configuring transports.
+	BaseRTT sim.Time
+}
+
+// Counters sums the switch counters across the fabric.
+func (n *Network) Counters() fabric.Counters {
+	var c fabric.Counters
+	for _, sw := range n.Switches {
+		c.Add(&sw.Ctr)
+	}
+	return c
+}
+
+// FinishPausedClocks closes any open PFC pause intervals at end of run.
+func (n *Network) FinishPausedClocks() {
+	for _, tx := range n.Txs {
+		tx.FinishPausedClock()
+	}
+}
+
+// PausedFraction returns the mean fraction of link-time spent paused
+// across all fabric transmitters, over the elapsed duration.
+func (n *Network) PausedFraction(elapsed sim.Time) float64 {
+	if elapsed <= 0 || len(n.Txs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, tx := range n.Txs {
+		sum += float64(tx.PausedTotal) / float64(elapsed)
+	}
+	return sum / float64(len(n.Txs))
+}
+
+// LeafSpineConfig parametrizes the leaf-spine fabric.
+type LeafSpineConfig struct {
+	Spines      int // core switches
+	Tors        int // leaf switches
+	HostsPerTor int
+	LinkRateBps int64
+	LinkDelay   sim.Time
+	Switch      fabric.SwitchConfig // Ports is set per switch by the builder
+	SeedSalt    int64               // RNG seed for probabilistic ECN
+}
+
+// DefaultLeafSpine returns the paper's simulation fabric: 4 spines, 12
+// ToRs, 8 hosts per ToR, 40 Gbps links. The per-link delay is the caller's
+// choice (10 µs for the TCP family, 1 µs for RoCE).
+func DefaultLeafSpine(delay sim.Time) LeafSpineConfig {
+	return LeafSpineConfig{
+		Spines:      4,
+		Tors:        12,
+		HostsPerTor: 8,
+		LinkRateBps: 40e9,
+		LinkDelay:   delay,
+		Switch: fabric.SwitchConfig{
+			BufferBytes: 4_500_000, // Trident II slice emulation (§7.1)
+			Alpha:       1,
+		},
+	}
+}
+
+// LeafSpine builds the fabric and installs ECMP routing.
+func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
+	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps}
+	numHosts := cfg.Tors * cfg.HostsPerTor
+	rng := sim.NewRNG(0x7a17 + cfg.SeedSalt)
+
+	for h := 0; h < numHosts; h++ {
+		n.Hosts = append(n.Hosts, fabric.NewHost(s, packet.NodeID(h)))
+	}
+	torID := func(t int) packet.NodeID { return packet.NodeID(1000 + t) }
+	spineID := func(c int) packet.NodeID { return packet.NodeID(2000 + c) }
+
+	tors := make([]*fabric.Switch, cfg.Tors)
+	for t := range tors {
+		sc := cfg.Switch
+		sc.Ports = cfg.HostsPerTor + cfg.Spines
+		tors[t] = fabric.NewSwitch(s, torID(t), rng, sc)
+		n.Switches = append(n.Switches, tors[t])
+	}
+	spines := make([]*fabric.Switch, cfg.Spines)
+	for c := range spines {
+		sc := cfg.Switch
+		sc.Ports = cfg.Tors
+		spines[c] = fabric.NewSwitch(s, spineID(c), rng, sc)
+		n.Switches = append(n.Switches, spines[c])
+	}
+
+	// Host <-> ToR links: host h on ToR h/HostsPerTor, ToR port h%HostsPerTor.
+	for h := 0; h < numHosts; h++ {
+		t := h / cfg.HostsPerTor
+		p := h % cfg.HostsPerTor
+		a, b := fabric.Connect(s, n.Hosts[h], 0, tors[t], p, cfg.LinkRateBps, cfg.LinkDelay)
+		n.Txs = append(n.Txs, a, b)
+	}
+	// ToR <-> spine links: ToR uplink port HostsPerTor+c to spine c port t.
+	for t := range tors {
+		for c := range spines {
+			a, b := fabric.Connect(s, tors[t], cfg.HostsPerTor+c, spines[c], t, cfg.LinkRateBps, cfg.LinkDelay)
+			n.Txs = append(n.Txs, a, b)
+		}
+	}
+
+	// Routing.
+	uplinks := make([]int, cfg.Spines)
+	for c := range uplinks {
+		uplinks[c] = cfg.HostsPerTor + c
+	}
+	for t, tor := range tors {
+		for h := 0; h < numHosts; h++ {
+			if h/cfg.HostsPerTor == t {
+				tor.SetRoute(packet.NodeID(h), []int{h % cfg.HostsPerTor})
+			} else {
+				tor.SetRoute(packet.NodeID(h), uplinks)
+			}
+		}
+	}
+	for _, sp := range spines {
+		for h := 0; h < numHosts; h++ {
+			sp.SetRoute(packet.NodeID(h), []int{h / cfg.HostsPerTor})
+		}
+	}
+
+	// Host→ToR→spine→ToR→host: 4 links each way.
+	n.BaseRTT = 2 * 4 * cfg.LinkDelay
+	return n
+}
+
+// StarConfig parametrizes a single-switch star (the testbed's single ToR).
+type StarConfig struct {
+	Hosts       int
+	LinkRateBps int64
+	LinkDelay   sim.Time
+	Switch      fabric.SwitchConfig
+	SeedSalt    int64
+}
+
+// Star builds an N-host single switch network.
+func Star(s *sim.Sim, cfg StarConfig) *Network {
+	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps}
+	rng := sim.NewRNG(0x57a6 + cfg.SeedSalt)
+	sc := cfg.Switch
+	sc.Ports = cfg.Hosts
+	sw := fabric.NewSwitch(s, 1000, rng, sc)
+	n.Switches = []*fabric.Switch{sw}
+	for h := 0; h < cfg.Hosts; h++ {
+		host := fabric.NewHost(s, packet.NodeID(h))
+		n.Hosts = append(n.Hosts, host)
+		a, b := fabric.Connect(s, host, 0, sw, h, cfg.LinkRateBps, cfg.LinkDelay)
+		n.Txs = append(n.Txs, a, b)
+		sw.SetRoute(packet.NodeID(h), []int{h})
+	}
+	n.BaseRTT = 2 * 2 * cfg.LinkDelay
+	return n
+}
+
+// DumbbellConfig parametrizes the two-switch dumbbell of §7.4: senders on
+// the left switch, receivers on the right, one inter-switch link.
+type DumbbellConfig struct {
+	LeftHosts, RightHosts int
+	LinkRateBps           int64 // host links
+	CrossRateBps          int64 // inter-switch link
+	LinkDelay             sim.Time
+	Switch                fabric.SwitchConfig
+	SeedSalt              int64
+}
+
+// Dumbbell builds the two-switch topology. Hosts 0..LeftHosts-1 attach to
+// the left switch; the rest to the right switch.
+func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
+	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps}
+	rng := sim.NewRNG(0xd0bb + cfg.SeedSalt)
+	lc := cfg.Switch
+	lc.Ports = cfg.LeftHosts + 1
+	rc := cfg.Switch
+	rc.Ports = cfg.RightHosts + 1
+	left := fabric.NewSwitch(s, 1000, rng, lc)
+	right := fabric.NewSwitch(s, 1001, rng, rc)
+	n.Switches = []*fabric.Switch{left, right}
+
+	total := cfg.LeftHosts + cfg.RightHosts
+	for h := 0; h < total; h++ {
+		host := fabric.NewHost(s, packet.NodeID(h))
+		n.Hosts = append(n.Hosts, host)
+		if h < cfg.LeftHosts {
+			a, b := fabric.Connect(s, host, 0, left, h, cfg.LinkRateBps, cfg.LinkDelay)
+			n.Txs = append(n.Txs, a, b)
+		} else {
+			a, b := fabric.Connect(s, host, 0, right, h-cfg.LeftHosts, cfg.LinkRateBps, cfg.LinkDelay)
+			n.Txs = append(n.Txs, a, b)
+		}
+	}
+	cross := cfg.CrossRateBps
+	if cross == 0 {
+		cross = cfg.LinkRateBps
+	}
+	a, b := fabric.Connect(s, left, cfg.LeftHosts, right, cfg.RightHosts, cross, cfg.LinkDelay)
+	n.Txs = append(n.Txs, a, b)
+
+	for h := 0; h < total; h++ {
+		dst := packet.NodeID(h)
+		if h < cfg.LeftHosts {
+			left.SetRoute(dst, []int{h})
+			right.SetRoute(dst, []int{cfg.RightHosts})
+		} else {
+			left.SetRoute(dst, []int{cfg.LeftHosts})
+			right.SetRoute(dst, []int{h - cfg.LeftHosts})
+		}
+	}
+	n.BaseRTT = 2 * 3 * cfg.LinkDelay
+	return n
+}

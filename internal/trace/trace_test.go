@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport"
+	"tlt/internal/transport/tcp"
+)
+
+func runTraced(t *testing.T, tr *Tracer) {
+	t.Helper()
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts: 2, LinkRateBps: 40e9, LinkDelay: sim.Microsecond,
+		Switch: fabric.SwitchConfig{BufferBytes: 1 << 20},
+	})
+	tr.AttachAll(n.Hosts)
+	rec := stats.NewRecorder()
+	f := &transport.Flow{ID: 7, Src: 0, Dst: 1, Size: 5_000}
+	tcp.StartFlow(s, n.Hosts[0], n.Hosts[1], f, tcp.DefaultConfig(), rec, nil)
+	s.RunAll()
+	if !rec.Flows[0].Done {
+		t.Fatal("flow incomplete")
+	}
+}
+
+func TestTracerRecordsBothDirections(t *testing.T) {
+	tr := New(0)
+	runTraced(t, tr)
+	events := tr.Events()
+	// 5 data packets: each seen as tx at host0 and rx at host1, plus 5
+	// ACKs both ways: 20 events.
+	if len(events) != 20 {
+		t.Fatalf("events = %d, want 20", len(events))
+	}
+	var tx, rx, data, acks int
+	for _, e := range events {
+		switch e.Dir {
+		case "tx":
+			tx++
+		case "rx":
+			rx++
+		}
+		switch e.Pkt.Type {
+		case packet.Data:
+			data++
+		case packet.Ack:
+			acks++
+		}
+	}
+	if tx != 10 || rx != 10 || data != 10 || acks != 10 {
+		t.Fatalf("tx=%d rx=%d data=%d acks=%d", tx, rx, data, acks)
+	}
+	// Chronological order.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := New(6)
+	runTraced(t, tr)
+	events := tr.Events()
+	if len(events) != 6 {
+		t.Fatalf("ring kept %d events", len(events))
+	}
+	// The last event must be the final ACK rx at host 0.
+	last := events[len(events)-1]
+	if last.Pkt.Type != packet.Ack || last.Dir != "rx" || last.Host != 0 {
+		t.Fatalf("last event = %+v", last)
+	}
+}
+
+func TestTracerFlowFilter(t *testing.T) {
+	tr := New(0)
+	tr.FlowFilter = 999 // no such flow
+	runTraced(t, tr)
+	if tr.Len() != 0 {
+		t.Fatalf("filter leaked %d events", tr.Len())
+	}
+}
+
+func TestTracerStreamAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(0).Stream(&buf)
+	runTraced(t, tr)
+	out := buf.String()
+	if !strings.Contains(out, "DATA flow=7 seq=0 len=1000") {
+		t.Fatalf("missing data line:\n%s", out)
+	}
+	if !strings.Contains(out, "ACK flow=7 ack=") {
+		t.Fatalf("missing ack line:\n%s", out)
+	}
+	var dump bytes.Buffer
+	tr.Dump(&dump)
+	if dump.String() != out {
+		t.Fatal("Dump should match streamed output")
+	}
+}

@@ -1,0 +1,36 @@
+package dcqcn
+
+import (
+	"tlt/internal/fabric"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+)
+
+// Conn bundles the two ends of a queue pair.
+type Conn struct {
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// StartFlow creates a queue pair carrying flow.Size bytes from src to dst
+// starting at flow.Start; the FCT is stamped when the receiver has the
+// whole message.
+func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Config,
+	recorder *stats.Recorder, onDone func(*stats.FlowRecord)) *Conn {
+	rec := recorder.NewFlowRecord(flow)
+	snd := NewSender(s, src, flow, cfg, rec, recorder, nil)
+	rcv := NewReceiver(s, dst, flow, cfg, rec)
+	src.Register(flow.ID, snd)
+	dst.Register(flow.ID, rcv)
+	rcv.OnComplete = func() {
+		if !rec.Done {
+			recorder.FlowDone(rec, s.Now())
+			if onDone != nil {
+				onDone(rec)
+			}
+		}
+	}
+	s.At(flow.Start, snd.Start)
+	return &Conn{Sender: snd, Receiver: rcv}
+}

@@ -1,0 +1,98 @@
+// Package dcqcn implements the RoCE-family rate-based transports of the
+// paper's evaluation: vanilla DCQCN with go-back-N recovery, DCQCN with
+// SACK (selective retransmission, no window), and DCQCN with IRN (BDP
+// window, selective retransmission, RTO_high/RTO_low). TLT augments the
+// first two with the rate-based marking policy (§5.2) and IRN with the
+// window-based policy (§5.1).
+package dcqcn
+
+import (
+	"tlt/internal/core"
+	"tlt/internal/sim"
+	"tlt/internal/transport"
+)
+
+// Mode selects the loss-recovery variant.
+type Mode uint8
+
+// Recovery variants.
+const (
+	GBN  Mode = iota // vanilla RoCE go-back-N
+	SACK             // selective retransmission, unlimited window
+	IRN              // selective retransmission + BDP window + RTO_low
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case GBN:
+		return "gbn"
+	case SACK:
+		return "sack"
+	case IRN:
+		return "irn"
+	}
+	return "?"
+}
+
+// Config parametrizes a DCQCN queue pair.
+type Config struct {
+	Mode Mode
+	MSS  int
+
+	LineRateBps int64
+	MinRateBps  int64
+
+	// DCQCN congestion parameters.
+	G                 float64  // alpha gain (1/256)
+	AIBps             float64  // additive increase
+	HAIBps            float64  // hyper increase
+	FastRecoverySteps int      // stages of R=(Rt+R)/2 after a cut
+	HyperAfterSteps   int      // stages after which HAI applies
+	RPTimer           sim.Time // rate-increase timer period
+	AlphaTimer        sim.Time // alpha decay period
+	ByteCounter       int64    // rate-increase byte counter
+	CnpInterval       sim.Time // min gap between CNPs at the receiver
+
+	RTO transport.RTOConfig // static RTO (4 ms for GBN/SACK)
+
+	// IRN parameters (Mittal et al., recommended values in §7.1).
+	RTOLow  sim.Time
+	NLow    int64
+	BDPPkts int64
+
+	TLT core.Config
+}
+
+// DefaultConfig returns the paper's RoCE settings for a 40 Gbps fabric:
+// static 4 ms RTO, DCQCN parameters from Zhu et al., and for IRN a BDP
+// window with RTO_high=1930 µs / RTO_low=100 µs.
+func DefaultConfig(mode Mode) Config {
+	cfg := Config{
+		Mode:              mode,
+		MSS:               transport.MSS,
+		LineRateBps:       40e9,
+		MinRateBps:        100e6,
+		G:                 1.0 / 256.0,
+		AIBps:             40e6,
+		HAIBps:            1e9,
+		FastRecoverySteps: 5,
+		HyperAfterSteps:   8,
+		RPTimer:           55 * sim.Microsecond,
+		AlphaTimer:        55 * sim.Microsecond,
+		ByteCounter:       10_000_000,
+		CnpInterval:       50 * sim.Microsecond,
+		RTO:               transport.RTOConfig{Fixed: 4 * sim.Millisecond},
+	}
+	if mode == IRN {
+		cfg.RTO = transport.RTOConfig{Fixed: 1930 * sim.Microsecond}
+		// RTO_low must exceed the worst-case RTT under TLT's bounded
+		// queues (~200 kB of queueing is ~40 µs per congested hop) or
+		// it fires spuriously during incast.
+		cfg.RTOLow = 320 * sim.Microsecond
+		cfg.NLow = 3
+		// BDP at 1 µs links: 8 hops round trip ≈ 10 µs → 50 kB ≈ 50 pkts.
+		cfg.BDPPkts = 50
+	}
+	return cfg
+}

@@ -1,0 +1,186 @@
+package dcqcn
+
+import (
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+)
+
+// Receiver is the responder side of a queue pair: it generates ACKs (and
+// NACKs for go-back-N), echoes congestion via CNPs, and detects message
+// completion.
+type Receiver struct {
+	s    *sim.Sim
+	host *fabric.Host
+	flow *transport.Flow
+	cfg  Config
+	rec  *stats.FlowRecord
+
+	n        int64
+	expected int64              // GBN in-order pointer
+	rcv      transport.RangeSet // SACK/IRN out-of-order state
+	cum      int64
+
+	lastNackFor int64
+	lastCnp     sim.Time
+	cnpPrimed   bool
+
+	tltWin *core.WindowReceiver // IRN
+
+	// OnComplete fires once when the full message has arrived.
+	OnComplete func()
+	completed  bool
+}
+
+// NewReceiver constructs the responder for flow.
+func NewReceiver(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config, rec *stats.FlowRecord) *Receiver {
+	n := (flow.Size + int64(cfg.MSS) - 1) / int64(cfg.MSS)
+	if n == 0 {
+		n = 1
+	}
+	r := &Receiver{
+		s: s, host: host, flow: flow, cfg: cfg, rec: rec,
+		n: n, lastNackFor: -1,
+	}
+	if cfg.Mode == IRN && cfg.TLT.Enabled {
+		r.tltWin = core.NewWindowReceiver(cfg.TLT)
+	}
+	return r
+}
+
+// Delivered returns the packets delivered in order so far.
+func (r *Receiver) Delivered() int64 {
+	if r.cfg.Mode == GBN {
+		return r.expected
+	}
+	return r.cum
+}
+
+// Handle implements fabric.PacketHandler for the data path.
+func (r *Receiver) Handle(pkt *packet.Packet) {
+	if pkt.Type != packet.Data {
+		return
+	}
+	if pkt.CE {
+		r.maybeCnp()
+	}
+	if r.cfg.Mode == GBN {
+		r.handleGBN(pkt)
+	} else {
+		r.handleSelective(pkt)
+	}
+}
+
+func (r *Receiver) controlMark() packet.Mark {
+	return core.ControlMark(r.cfg.TLT.Enabled)
+}
+
+func (r *Receiver) maybeCnp() {
+	now := r.s.Now()
+	if r.cnpPrimed && now-r.lastCnp < r.cfg.CnpInterval {
+		return
+	}
+	r.cnpPrimed = true
+	r.lastCnp = now
+	cnp := &packet.Packet{
+		Flow: r.flow.ID, Dst: r.flow.Src,
+		Type: packet.Cnp,
+		Mark: r.controlMark(),
+	}
+	r.send(cnp)
+}
+
+func (r *Receiver) handleGBN(pkt *packet.Packet) {
+	switch {
+	case pkt.Seq == r.expected:
+		r.expected++
+		if r.lastNackFor < r.expected {
+			r.lastNackFor = -1
+		}
+		r.sendAck(r.expected, nil, packet.Mark(0))
+		if r.expected >= r.n {
+			r.finish()
+		}
+	case pkt.Seq > r.expected:
+		// Out of order: drop payload, NACK once per expected PSN.
+		if r.lastNackFor != r.expected {
+			r.lastNackFor = r.expected
+			nack := &packet.Packet{
+				Flow: r.flow.ID, Dst: r.flow.Src,
+				Type: packet.Nack,
+				Ack:  r.expected,
+				Mark: r.controlMark(),
+			}
+			r.send(nack)
+		}
+	default:
+		// Duplicate of already-delivered data: re-ACK.
+		r.sendAck(r.expected, nil, packet.Mark(0))
+	}
+}
+
+func (r *Receiver) handleSelective(pkt *packet.Packet) {
+	if r.tltWin != nil {
+		r.tltWin.OnData(pkt.Mark)
+	}
+	if pkt.Seq >= r.cum {
+		r.rcv.Add(pkt.Seq, pkt.Seq+1)
+		r.cum = r.rcv.NextUncovered(r.cum)
+		r.rcv.TrimBelow(r.cum)
+	}
+	mark := packet.Mark(0)
+	if r.tltWin != nil {
+		mark = r.tltWin.TakeAckMark()
+	}
+	ack := r.buildAck(r.cum, r.rcv.Blocks(8), mark)
+	// Echo the data packet's send time: the sender uses it for
+	// RACK-style invalidation of retransmissions that were themselves
+	// lost (the per-OOO-arrival NACK behaviour of commercial RoCE NICs).
+	ack.EchoTS = pkt.SentAt
+	r.send(ack)
+	if r.cum >= r.n {
+		r.finish()
+	}
+}
+
+func (r *Receiver) sendAck(cum int64, blocks []packet.SackBlock, mark packet.Mark) {
+	r.send(r.buildAck(cum, blocks, mark))
+}
+
+func (r *Receiver) buildAck(cum int64, blocks []packet.SackBlock, mark packet.Mark) *packet.Packet {
+	if mark == packet.Mark(0) {
+		mark = r.controlMark()
+	}
+	return &packet.Packet{
+		Flow: r.flow.ID, Dst: r.flow.Src,
+		Type: packet.Ack,
+		Ack:  cum,
+		Sack: blocks,
+		Mark: mark,
+	}
+}
+
+func (r *Receiver) send(pkt *packet.Packet) {
+	if r.rec != nil {
+		size := int64(pkt.WireSize())
+		r.rec.TotalBytes += size
+		if pkt.Important() {
+			r.rec.ImpPackets++
+			r.rec.ImpBytes += size
+		}
+	}
+	r.host.Send(pkt)
+}
+
+func (r *Receiver) finish() {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
+}

@@ -1,0 +1,347 @@
+// Package hpcc implements HPCC (Li et al., SIGCOMM'19) as evaluated by
+// the paper: a window-based RoCE transport driven by per-ACK in-band
+// network telemetry (INT), with SACK loss recovery ("HPCC+SACK") and an
+// optional TLT window-based extension.
+package hpcc
+
+import (
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+)
+
+// Config parametrizes an HPCC sender.
+type Config struct {
+	MSS         int
+	LineRateBps int64
+	BaseRTT     sim.Time // T in the HPCC control law
+	Eta         float64  // target utilization (0.95)
+	MaxStage    int      // additive-increase stages per MIMD reset (5)
+	WAIBytes    float64  // additive increase per update
+	RTO         transport.RTOConfig
+	TLT         core.Config
+}
+
+// DefaultConfig returns HPCC's recommended settings scaled to the 40 Gbps
+// RoCE fabric (1 µs links).
+func DefaultConfig(baseRTT sim.Time) Config {
+	winit := float64(40e9/8) * baseRTT.Seconds()
+	return Config{
+		MSS:         transport.MSS,
+		LineRateBps: 40e9,
+		BaseRTT:     baseRTT,
+		Eta:         0.95,
+		MaxStage:    5,
+		WAIBytes:    winit * 0.05 / 10,
+		RTO:         transport.RTOConfig{Fixed: 4 * sim.Millisecond},
+	}
+}
+
+// Sender is an HPCC flow sender.
+type Sender struct {
+	s    *sim.Sim
+	host *fabric.Host
+	flow *transport.Flow
+	cfg  Config
+
+	rec    *stats.FlowRecord
+	onDone func()
+
+	n       int64
+	lastLen int
+	board   *transport.PktBoard
+
+	winit    float64
+	w, wc    float64
+	u        float64
+	incStage int
+	lastSeq  int64 // lastUpdateSeq: next Wc assignment boundary
+	lastINT  []packet.INTHop
+
+	rtoDeadline sim.Time // lazy RTO: 0 = disarmed
+	rtoPending  bool
+	tlt         *core.WindowSender
+	done        bool
+}
+
+// NewSender constructs an HPCC sender for flow.
+func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
+	rec *stats.FlowRecord, onDone func()) *Sender {
+	n := (flow.Size + int64(cfg.MSS) - 1) / int64(cfg.MSS)
+	if n == 0 {
+		n = 1
+	}
+	winit := float64(cfg.LineRateBps/8) * cfg.BaseRTT.Seconds()
+	return &Sender{
+		s: s, host: host, flow: flow, cfg: cfg,
+		rec: rec, onDone: onDone,
+		n: n, lastLen: int(flow.Size - (n-1)*int64(cfg.MSS)),
+		board: transport.NewPktBoard(n),
+		winit: winit, w: winit, wc: winit,
+		tlt: core.NewWindowSender(cfg.TLT),
+	}
+}
+
+// Start begins transmission.
+func (s *Sender) Start() {
+	s.output()
+	s.armRTO()
+}
+
+// Done reports sender completion.
+func (s *Sender) Done() bool { return s.done }
+
+// Window returns the current window in bytes (for tests).
+func (s *Sender) Window() float64 { return s.w }
+
+// Handle implements fabric.PacketHandler.
+func (s *Sender) Handle(pkt *packet.Packet) {
+	if s.done || pkt.Type != packet.Ack {
+		return
+	}
+	s.onAck(pkt)
+}
+
+func (s *Sender) inflightBytes() float64 {
+	return float64(s.board.InFlight()) * float64(s.cfg.MSS)
+}
+
+func (s *Sender) onAck(pkt *packet.Packet) {
+	var impSentAt sim.Time
+	rackOK := false
+	if s.tlt.Enabled() {
+		switch pkt.Mark {
+		case packet.ImportantEcho, packet.ImportantClockEcho:
+			impSentAt, rackOK = s.tlt.OnEcho()
+		}
+	}
+
+	progressed := s.board.Ack(pkt.Ack)
+	s.board.Sack(pkt.Sack)
+	if rackOK {
+		s.board.RackMark(impSentAt)
+	}
+	if pkt.EchoTS > 0 {
+		s.board.RackMark(pkt.EchoTS)
+	}
+	s.board.ApplyLostEdge()
+
+	if len(pkt.INT) > 0 {
+		s.react(pkt)
+	}
+
+	if s.board.Complete() {
+		s.complete()
+		return
+	}
+	if progressed {
+		s.armRTO()
+	}
+	s.output()
+
+	if s.tlt.Armed() && s.board.FirstUnsacked() >= 0 {
+		s.importantClock()
+	}
+}
+
+// react runs HPCC's per-ACK control law (Algorithm 1 of the HPCC paper).
+func (s *Sender) react(pkt *packet.Packet) {
+	updateWc := pkt.Ack > s.lastSeq
+	u := s.measureInflight(pkt.INT)
+	s.computeWind(u, updateWc)
+	if updateWc {
+		s.lastSeq = s.board.Nxt
+	}
+}
+
+func (s *Sender) measureInflight(hops []packet.INTHop) float64 {
+	tSec := s.cfg.BaseRTT.Seconds()
+	u := 0.0
+	tau := tSec
+	if len(s.lastINT) == len(hops) {
+		for i, h := range hops {
+			prev := s.lastINT[i]
+			dt := (h.Timestamp - prev.Timestamp).Seconds()
+			if dt <= 0 {
+				continue
+			}
+			txRate := float64(h.TxBytes-prev.TxBytes) * 8 / dt
+			qlen := h.QueueBytes
+			if prev.QueueBytes < qlen {
+				qlen = prev.QueueBytes
+			}
+			b := float64(h.RateBps)
+			uPrime := float64(qlen)*8/(b*tSec) + txRate/b
+			if uPrime > u {
+				u = uPrime
+				tau = dt
+			}
+		}
+	}
+	// First ACK (or hop-count change): no rate delta is computable; the
+	// EWMA simply keeps its prior value via tau=T and u=0 above.
+	if tau > tSec {
+		tau = tSec
+	}
+	s.u = s.u*(1-tau/tSec) + u*(tau/tSec)
+	s.lastINT = append(s.lastINT[:0], hops...)
+	return s.u
+}
+
+func (s *Sender) computeWind(u float64, updateWc bool) {
+	if u >= s.cfg.Eta || s.incStage >= s.cfg.MaxStage {
+		s.w = s.wc/(u/s.cfg.Eta) + s.cfg.WAIBytes
+		if updateWc {
+			s.incStage = 0
+			s.wc = s.w
+		}
+	} else {
+		s.w = s.wc + s.cfg.WAIBytes
+		if updateWc {
+			s.incStage++
+			s.wc = s.w
+		}
+	}
+	if s.w < float64(s.cfg.MSS) {
+		s.w = float64(s.cfg.MSS)
+	}
+	if s.w > s.winit {
+		s.w = s.winit
+	}
+}
+
+func (s *Sender) output() {
+	if s.done {
+		return
+	}
+	for s.inflightBytes() < s.w {
+		psn := s.board.NextRetx()
+		isRetx := psn >= 0
+		if !isRetx {
+			if s.board.Nxt >= s.n {
+				return
+			}
+			psn = s.board.Nxt
+		}
+		more := s.moreAfter(psn, isRetx)
+		s.transmit(psn, isRetx, s.tlt.TakeMark(!more, s.s.Now()))
+	}
+}
+
+func (s *Sender) moreAfter(psn int64, isRetx bool) bool {
+	if s.inflightBytes()+float64(s.cfg.MSS) >= s.w {
+		return false
+	}
+	if isRetx {
+		for p := psn + 1; p < s.board.Nxt; p++ {
+			st := s.board.State(p)
+			if st.Lost && !st.Retx {
+				return true
+			}
+		}
+	}
+	next := psn + 1
+	if !isRetx && next < s.n && next >= s.board.Nxt {
+		return true
+	}
+	return false
+}
+
+func (s *Sender) transmit(psn int64, isRetx bool, mark packet.Mark) {
+	now := s.s.Now()
+	length := s.cfg.MSS
+	last := psn == s.n-1
+	if last {
+		length = s.lastLen
+	}
+	pkt := &packet.Packet{
+		Flow: s.flow.ID, Dst: s.flow.Dst,
+		Type: packet.Data,
+		Seq:  psn, Len: length,
+		Mark:    mark,
+		ECT:     true,
+		SentAt:  now,
+		IsRetx:  isRetx,
+		LastPkt: last,
+	}
+	s.board.OnSent(psn, isRetx, now)
+	if isRetx {
+		s.rec.RetxPackets++
+	}
+	s.rec.SentPackets++
+	size := int64(pkt.WireSize())
+	s.rec.TotalBytes += size
+	if pkt.Important() {
+		s.rec.ImpPackets++
+		s.rec.ImpBytes += size
+	}
+	s.host.Send(pkt)
+}
+
+func (s *Sender) importantClock() {
+	psn := s.board.NextRetx()
+	isRetx := true
+	if psn < 0 {
+		psn = s.board.FirstUnsacked()
+		isRetx = false
+		if psn < 0 {
+			return
+		}
+	}
+	s.rec.ClockSends++
+	s.rec.ClockBytes += int64(s.cfg.MSS)
+	if !isRetx {
+		s.rec.RetxPackets++
+	}
+	s.transmit(psn, isRetx, s.tlt.TakeClockMark(s.s.Now()))
+}
+
+func (s *Sender) armRTO() {
+	if s.done {
+		s.rtoDeadline = 0
+		return
+	}
+	s.rtoDeadline = s.s.Now() + s.cfg.RTO.Fixed
+	if !s.rtoPending {
+		s.rtoPending = true
+		s.s.At(s.rtoDeadline, s.rtoTick)
+	}
+}
+
+func (s *Sender) rtoTick() {
+	s.rtoPending = false
+	if s.done || s.rtoDeadline == 0 {
+		return
+	}
+	if now := s.s.Now(); now < s.rtoDeadline {
+		s.rtoPending = true
+		s.s.At(s.rtoDeadline, s.rtoTick)
+		return
+	}
+	s.onRTO()
+}
+
+func (s *Sender) onRTO() {
+	if s.done || s.board.Complete() {
+		return
+	}
+	s.rec.Timeouts++
+	s.board.MarkAllLost()
+	s.tlt.Reset()
+	s.output()
+	s.armRTO()
+}
+
+func (s *Sender) complete() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.rtoDeadline = 0
+	if s.onDone != nil {
+		s.onDone()
+	}
+}

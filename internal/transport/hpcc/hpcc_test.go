@@ -1,0 +1,77 @@
+package hpcc
+
+import (
+	"testing"
+
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport"
+)
+
+func hpccStar(hosts int, buf int64) (*sim.Sim, *topo.Network) {
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts:       hosts,
+		LinkRateBps: 40e9,
+		LinkDelay:   sim.Microsecond,
+		Switch: fabric.SwitchConfig{
+			BufferBytes: buf,
+			INT:         true,
+		},
+	})
+	return s, n
+}
+
+func TestHPCCSingleFlow(t *testing.T) {
+	s, n := hpccStar(2, 4_500_000)
+	rec := stats.NewRecorder()
+	f := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: 1_000_000}
+	_, rcv := StartFlow(s, n.Hosts[0], n.Hosts[1], f, DefaultConfig(n.BaseRTT+10*sim.Microsecond), rec, nil)
+	s.Run(sim.Second)
+	if got := rcv.Delivered(); got != 1000 {
+		t.Fatalf("delivered %d packets, want 1000", got)
+	}
+	if rec.Flows[0].Timeouts != 0 {
+		t.Fatalf("timeouts: %d", rec.Flows[0].Timeouts)
+	}
+}
+
+func TestHPCCKeepsQueueLow(t *testing.T) {
+	// Two long flows share a port: HPCC should converge to near-zero
+	// standing queue (far below a DCTCP-like threshold).
+	s, n := hpccStar(3, 4_500_000)
+	rec := stats.NewRecorder()
+	cfg := DefaultConfig(n.BaseRTT + 10*sim.Microsecond)
+	for i := 0; i < 2; i++ {
+		f := &transport.Flow{ID: packet.FlowID(i + 1), Src: packet.NodeID(i + 1), Dst: 0, Size: 10_000_000}
+		StartFlow(s, n.Hosts[i+1], n.Hosts[0], f, cfg, rec, nil)
+	}
+	s.Run(sim.Second)
+	if d, tot := rec.CompletedCount(false); d != tot {
+		t.Fatalf("%d/%d flows completed", d, tot)
+	}
+	// Queue spikes during the first RTT burst, then drains; the
+	// high-water mark must stay well under 2x initial window.
+	if q := n.Switches[0].MaxQueueBytes(0); q > 250_000 {
+		t.Fatalf("HPCC max queue %d, want < 250kB", q)
+	}
+}
+
+func TestHPCCIncastRecoversWithTLT(t *testing.T) {
+	s, n := hpccStar(33, 600_000)
+	rec := stats.NewRecorder()
+	cfg := DefaultConfig(n.BaseRTT + 10*sim.Microsecond)
+	cfg.TLT = core.Config{Enabled: true}
+	for i := 0; i < 32; i++ {
+		f := &transport.Flow{ID: packet.FlowID(i + 1), Src: packet.NodeID(i + 1), Dst: 0, Size: 16_000, FG: true}
+		StartFlow(s, n.Hosts[i+1], n.Hosts[0], f, cfg, rec, nil)
+	}
+	s.Run(2 * sim.Second)
+	if d, tot := rec.CompletedCount(true); d != tot {
+		t.Fatalf("%d/%d flows completed", d, tot)
+	}
+}

@@ -1,0 +1,115 @@
+package hpcc
+
+import (
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+)
+
+// Receiver acknowledges every data packet, echoing the INT telemetry the
+// packet accumulated so the sender can run the HPCC control law.
+type Receiver struct {
+	s    *sim.Sim
+	host *fabric.Host
+	flow *transport.Flow
+	cfg  Config
+	rec  *stats.FlowRecord
+
+	n   int64
+	rcv transport.RangeSet
+	cum int64
+
+	tlt *core.WindowReceiver
+
+	// OnComplete fires once when the full message has arrived.
+	OnComplete func()
+	completed  bool
+}
+
+// NewReceiver constructs the receiver for flow.
+func NewReceiver(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config, rec *stats.FlowRecord) *Receiver {
+	n := (flow.Size + int64(cfg.MSS) - 1) / int64(cfg.MSS)
+	if n == 0 {
+		n = 1
+	}
+	return &Receiver{
+		s: s, host: host, flow: flow, cfg: cfg, rec: rec, n: n,
+		tlt: core.NewWindowReceiver(cfg.TLT),
+	}
+}
+
+// Delivered returns in-order packets received.
+func (r *Receiver) Delivered() int64 { return r.cum }
+
+// Handle implements fabric.PacketHandler.
+func (r *Receiver) Handle(pkt *packet.Packet) {
+	if pkt.Type != packet.Data {
+		return
+	}
+	r.tlt.OnData(pkt.Mark)
+	if pkt.Seq >= r.cum {
+		r.rcv.Add(pkt.Seq, pkt.Seq+1)
+		r.cum = r.rcv.NextUncovered(r.cum)
+		r.rcv.TrimBelow(r.cum)
+	}
+	mark := r.tlt.TakeAckMark()
+	if !r.cfg.TLT.Enabled {
+		mark = packet.Unimportant
+	}
+	ack := &packet.Packet{
+		Flow: r.flow.ID, Dst: r.flow.Src,
+		Type: packet.Ack,
+		Ack:  r.cum,
+		Sack: r.rcv.Blocks(8),
+		Mark: mark,
+		INT:  pkt.INT,
+		// Echo the send time so the sender can invalidate
+		// retransmissions that were themselves lost (RACK-style).
+		EchoTS: pkt.SentAt,
+	}
+	if r.rec != nil {
+		size := int64(ack.WireSize())
+		r.rec.TotalBytes += size
+		if ack.Important() {
+			r.rec.ImpPackets++
+			r.rec.ImpBytes += size
+		}
+	}
+	r.host.Send(ack)
+	if r.cum >= r.n {
+		r.finish()
+	}
+}
+
+func (r *Receiver) finish() {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
+}
+
+// StartFlow creates an HPCC flow from src to dst.
+func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Config,
+	recorder *stats.Recorder, onDone func(*stats.FlowRecord)) (*Sender, *Receiver) {
+	rec := recorder.NewFlowRecord(flow)
+	snd := NewSender(s, src, flow, cfg, rec, nil)
+	rcv := NewReceiver(s, dst, flow, cfg, rec)
+	src.Register(flow.ID, snd)
+	dst.Register(flow.ID, rcv)
+	rcv.OnComplete = func() {
+		if !rec.Done {
+			recorder.FlowDone(rec, s.Now())
+			if onDone != nil {
+				onDone(rec)
+			}
+		}
+	}
+	s.At(flow.Start, snd.Start)
+	return snd, rcv
+}

@@ -1,0 +1,88 @@
+package hpcc
+
+import (
+	"testing"
+
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport"
+)
+
+// TestHPCCTLTClockRescuesStalledWindow: collapse HPCC's window via
+// hostile INT feedback after losing the tail; the important ACK-clock
+// must keep the flow alive without the 4ms static RTO.
+func TestHPCCTLTClockRescuesStalledWindow(t *testing.T) {
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts: 2, LinkRateBps: 40e9, LinkDelay: sim.Microsecond,
+		Switch: fabric.SwitchConfig{BufferBytes: 4 << 20, INT: true, ColorThreshold: 200_000},
+	})
+	rec := stats.NewRecorder()
+	cfg := DefaultConfig(n.BaseRTT + 4*sim.Microsecond)
+	cfg.TLT = core.Config{Enabled: true}
+	f := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: 40_000}
+	snd, _ := StartFlow(s, n.Hosts[0], n.Hosts[1], f, cfg, rec, nil)
+
+	// Drop a mid-flow span of unimportant packets twice.
+	drops := map[int64]int{}
+	n.Hosts[0].NICTx().DropWhen(func(p *packet.Packet) bool {
+		if p.Type == packet.Data && p.Seq >= 10 && p.Seq < 20 &&
+			p.Mark == packet.Unimportant && drops[p.Seq] < 2 {
+			drops[p.Seq]++
+			return true
+		}
+		return false
+	})
+	s.Run(3 * sim.Millisecond) // less than the 4ms RTO
+	if !snd.Done() {
+		t.Fatal("flow incomplete before the static RTO: clocking failed to rescue")
+	}
+	if rec.Flows[0].Timeouts != 0 {
+		t.Fatalf("timeouts = %d", rec.Flows[0].Timeouts)
+	}
+	if rec.Flows[0].RetxPackets < 10 {
+		t.Fatalf("retransmissions = %d, want the dropped span recovered", rec.Flows[0].RetxPackets)
+	}
+}
+
+// TestHPCCTLTMarksBurstTail: the last packet of the initial window burst
+// carries ImportantData so its echo covers the burst.
+func TestHPCCTLTMarksBurstTail(t *testing.T) {
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts: 2, LinkRateBps: 40e9, LinkDelay: sim.Microsecond,
+		Switch: fabric.SwitchConfig{BufferBytes: 4 << 20, INT: true},
+	})
+	rec := stats.NewRecorder()
+	cfg := DefaultConfig(n.BaseRTT + 4*sim.Microsecond)
+	cfg.TLT = core.Config{Enabled: true}
+	f := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: 200_000}
+	var seen []packet.Mark
+	n.Hosts[0].Trace = func(now sim.Time, dir string, p *packet.Packet) {
+		if dir == "tx" && p.Type == packet.Data {
+			seen = append(seen, p.Mark)
+		}
+	}
+	snd, _ := StartFlow(s, n.Hosts[0], n.Hosts[1], f, cfg, rec, nil)
+	s.Run(sim.Second)
+	if !snd.Done() {
+		t.Fatal("flow incomplete")
+	}
+	imp := 0
+	for _, m := range seen {
+		if m == packet.ImportantData || m == packet.ImportantClockData {
+			imp++
+		}
+	}
+	if imp == 0 {
+		t.Fatal("no important data packets on the wire")
+	}
+	// One important per RTT, not per packet: far fewer than total.
+	if imp*3 > len(seen) {
+		t.Fatalf("%d of %d packets important: marking too aggressive", imp, len(seen))
+	}
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// PktState is per-PSN scoreboard state for packet-sequence transports
+// (RoCE family: DCQCN+SACK, IRN, HPCC).
+type PktState struct {
+	Sacked   bool
+	Lost     bool
+	Retx     bool // retransmission of this lost packet is in flight
+	EverSent bool
+	LastSent sim.Time
+}
+
+// PktBoard is a sender scoreboard over packet sequence numbers 0..N-1
+// with selective acknowledgment, duplicate-threshold-1 loss marking, and
+// time-based (RACK-style) loss detection for TLT echoes.
+type PktBoard struct {
+	N   int64 // message length in packets
+	Una int64 // first PSN not cumulatively acked
+	Nxt int64 // next fresh PSN
+
+	st []PktState
+
+	sacked   int64 // sacked in [Una, Nxt)
+	lost     int64 // lost, unsacked
+	lostRetx int64 // subset of lost with retransmission in flight
+	LostEdge int64 // PSNs below this and unsacked are lost
+}
+
+// NewPktBoard returns a board for an n-packet message.
+func NewPktBoard(n int64) *PktBoard {
+	return &PktBoard{N: n, st: make([]PktState, n)}
+}
+
+// InFlight estimates packets currently in the network.
+func (b *PktBoard) InFlight() int64 {
+	return (b.Nxt - b.Una) - b.sacked - (b.lost - b.lostRetx)
+}
+
+// HasLoss reports whether any lost packet awaits retransmission.
+func (b *PktBoard) HasLoss() bool { return b.lost > b.lostRetx }
+
+// PendingRetx returns the number of lost packets awaiting retransmission.
+func (b *PktBoard) PendingRetx() int64 { return b.lost - b.lostRetx }
+
+// Complete reports whether everything is cumulatively acked.
+func (b *PktBoard) Complete() bool { return b.Una >= b.N }
+
+// State returns the scoreboard entry for psn (for tests).
+func (b *PktBoard) State(psn int64) PktState { return b.st[psn] }
+
+// OnSent records a transmission of psn at time now.
+func (b *PktBoard) OnSent(psn int64, isRetx bool, now sim.Time) {
+	s := &b.st[psn]
+	s.EverSent = true
+	s.LastSent = now
+	if isRetx && s.Lost && !s.Retx {
+		s.Retx = true
+		b.lostRetx++
+	}
+	if psn >= b.Nxt {
+		b.Nxt = psn + 1
+	}
+}
+
+// Ack applies a cumulative acknowledgment up to (excluding) cum.
+func (b *PktBoard) Ack(cum int64) (progressed bool) {
+	if cum <= b.Una {
+		return false
+	}
+	if cum > b.N {
+		cum = b.N
+	}
+	for p := b.Una; p < cum; p++ {
+		s := &b.st[p]
+		if s.Sacked {
+			b.sacked--
+		}
+		if s.Lost {
+			b.lost--
+			if s.Retx {
+				b.lostRetx--
+			}
+		}
+	}
+	b.Una = cum
+	if b.LostEdge < cum {
+		b.LostEdge = cum
+	}
+	return true
+}
+
+// Sack applies selective acknowledgment blocks (PSN ranges) and advances
+// the dupthresh-1 loss edge.
+func (b *PktBoard) Sack(blocks []packet.SackBlock) {
+	for _, blk := range blocks {
+		lo := blk.Start
+		if lo < b.Una {
+			lo = b.Una
+		}
+		hi := blk.End
+		if hi > b.Nxt {
+			hi = b.Nxt
+		}
+		for p := lo; p < hi; p++ {
+			s := &b.st[p]
+			if s.Sacked {
+				continue
+			}
+			s.Sacked = true
+			b.sacked++
+			if s.Lost {
+				s.Lost = false
+				b.lost--
+				if s.Retx {
+					s.Retx = false
+					b.lostRetx--
+				}
+			}
+		}
+		if blk.Start > b.Una && blk.Start > b.LostEdge {
+			b.LostEdge = blk.Start
+		}
+	}
+}
+
+// ApplyLostEdge marks unsacked PSNs below LostEdge as lost.
+func (b *PktBoard) ApplyLostEdge() (newLoss bool) {
+	for p := b.Una; p < b.LostEdge; p++ {
+		s := &b.st[p]
+		if !s.Sacked && !s.Lost {
+			s.Lost = true
+			b.lost++
+			newLoss = true
+		}
+	}
+	return newLoss
+}
+
+// RackMark marks every unsacked PSN last sent strictly before t as lost
+// (TLT guaranteed loss detection); stale retransmissions are invalidated
+// so they are sent again.
+func (b *PktBoard) RackMark(t sim.Time) (newLoss bool) {
+	for p := b.Una; p < b.Nxt; p++ {
+		s := &b.st[p]
+		if s.Sacked || !s.EverSent || s.LastSent >= t {
+			continue
+		}
+		if s.Retx {
+			s.Retx = false
+			b.lostRetx--
+		}
+		if !s.Lost {
+			s.Lost = true
+			b.lost++
+			newLoss = true
+		}
+	}
+	return newLoss
+}
+
+// MarkAllLost collapses the scoreboard on RTO: everything unsacked is
+// lost and in-flight retransmissions are invalidated.
+func (b *PktBoard) MarkAllLost() {
+	b.LostEdge = b.Nxt
+	for p := b.Una; p < b.Nxt; p++ {
+		s := &b.st[p]
+		if s.Retx {
+			s.Retx = false
+			b.lostRetx--
+		}
+		if !s.Sacked && !s.Lost {
+			s.Lost = true
+			b.lost++
+		}
+	}
+}
+
+// Rewind moves the fresh-send pointer back to psn (go-back-N). Only
+// meaningful when no selective state is in use (GBN mode never sacks).
+func (b *PktBoard) Rewind(psn int64) {
+	if psn < b.Una {
+		psn = b.Una
+	}
+	if psn < b.Nxt {
+		b.Nxt = psn
+	}
+}
+
+// NextRetx returns the lowest lost PSN with no retransmission in flight,
+// or -1.
+func (b *PktBoard) NextRetx() int64 {
+	if b.lost <= b.lostRetx {
+		return -1
+	}
+	for p := b.Una; p < b.Nxt; p++ {
+		s := &b.st[p]
+		if s.Lost && !s.Retx {
+			return p
+		}
+	}
+	return -1
+}
+
+// FirstUnsacked returns the lowest unsacked outstanding PSN, or -1.
+func (b *PktBoard) FirstUnsacked() int64 {
+	for p := b.Una; p < b.Nxt; p++ {
+		if !b.st[p].Sacked {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSet is a reference model for RangeSet.
+type naiveSet map[int64]bool
+
+func (n naiveSet) add(start, end int64) int64 {
+	var fresh int64
+	for i := start; i < end; i++ {
+		if !n[i] {
+			n[i] = true
+			fresh++
+		}
+	}
+	return fresh
+}
+
+func TestRangeSetBasic(t *testing.T) {
+	var s RangeSet
+	if !s.Empty() {
+		t.Fatal("zero value should be empty")
+	}
+	if got := s.Add(10, 20); got != 10 {
+		t.Fatalf("Add returned %d, want 10", got)
+	}
+	if got := s.Add(15, 25); got != 5 {
+		t.Fatalf("overlapping Add returned %d, want 5", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("expected merged single block, got %d", s.Len())
+	}
+	if !s.Contains(10) || !s.Contains(24) || s.Contains(25) || s.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if got := s.NextUncovered(10); got != 25 {
+		t.Fatalf("NextUncovered(10) = %d, want 25", got)
+	}
+	if got := s.NextUncovered(5); got != 5 {
+		t.Fatalf("NextUncovered(5) = %d, want 5", got)
+	}
+	if got := s.Total(); got != 15 {
+		t.Fatalf("Total = %d, want 15", got)
+	}
+	if got := s.Max(); got != 25 {
+		t.Fatalf("Max = %d, want 25", got)
+	}
+}
+
+func TestRangeSetAdjacentMerge(t *testing.T) {
+	var s RangeSet
+	s.Add(0, 10)
+	s.Add(10, 20) // adjacent: must merge
+	if s.Len() != 1 {
+		t.Fatalf("adjacent blocks not merged: %d blocks", s.Len())
+	}
+	s.Add(30, 40)
+	s.Add(20, 30) // bridges
+	if s.Len() != 1 {
+		t.Fatalf("bridge not merged: %v", s.Blocks(0))
+	}
+}
+
+func TestRangeSetTrimBelow(t *testing.T) {
+	var s RangeSet
+	s.Add(0, 10)
+	s.Add(20, 30)
+	s.Add(40, 50)
+	s.TrimBelow(25)
+	if s.Contains(24) || !s.Contains(25) || !s.Contains(45) {
+		t.Fatalf("TrimBelow wrong: %v", s.Blocks(0))
+	}
+	if got := s.Total(); got != 15 {
+		t.Fatalf("Total after trim = %d, want 15", got)
+	}
+	s.TrimBelow(100)
+	if !s.Empty() {
+		t.Fatal("TrimBelow(100) should empty the set")
+	}
+}
+
+func TestRangeSetBlocksOrder(t *testing.T) {
+	var s RangeSet
+	s.Add(40, 50)
+	s.Add(0, 10)
+	s.Add(20, 30)
+	all := s.Blocks(0)
+	if len(all) != 3 || all[0].Start != 0 || all[2].Start != 40 {
+		t.Fatalf("Blocks(0) = %v", all)
+	}
+	top := s.Blocks(2)
+	if len(top) != 2 || top[0].Start != 40 || top[1].Start != 20 {
+		t.Fatalf("Blocks(2) = %v, want highest first", top)
+	}
+	full := s.Blocks(5)
+	if len(full) != 3 || full[0].Start != 40 {
+		t.Fatalf("Blocks(5) = %v", full)
+	}
+}
+
+func TestRangeSetCoveredWithin(t *testing.T) {
+	var s RangeSet
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if got := s.CoveredWithin(0, 100); got != 20 {
+		t.Fatalf("CoveredWithin(0,100) = %d", got)
+	}
+	if got := s.CoveredWithin(15, 35); got != 10 {
+		t.Fatalf("CoveredWithin(15,35) = %d", got)
+	}
+	if got := s.CoveredWithin(20, 30); got != 0 {
+		t.Fatalf("CoveredWithin(20,30) = %d", got)
+	}
+}
+
+func TestRangeSetNextCoveredAtOrAfter(t *testing.T) {
+	var s RangeSet
+	s.Add(10, 20)
+	if got := s.NextCoveredAtOrAfter(0, 100); got != 10 {
+		t.Fatalf("= %d, want 10", got)
+	}
+	if got := s.NextCoveredAtOrAfter(15, 100); got != 15 {
+		t.Fatalf("= %d, want 15", got)
+	}
+	if got := s.NextCoveredAtOrAfter(20, 100); got != 100 {
+		t.Fatalf("= %d, want 100 (none)", got)
+	}
+}
+
+// TestRangeSetVsModel drives random operations against the naive model.
+func TestRangeSetVsModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s RangeSet
+		model := naiveSet{}
+		for op := 0; op < 200; op++ {
+			start := int64(rng.Intn(300))
+			end := start + int64(rng.Intn(20))
+			if got, want := s.Add(start, end), model.add(start, end); got != want {
+				t.Logf("Add(%d,%d) returned %d, model %d", start, end, got, want)
+				return false
+			}
+			// Spot-check coverage.
+			x := int64(rng.Intn(320))
+			if s.Contains(x) != model[x] {
+				t.Logf("Contains(%d) mismatch", x)
+				return false
+			}
+			// Invariant: blocks sorted, disjoint, non-adjacent.
+			blocks := s.Blocks(0)
+			for i, b := range blocks {
+				if b.Start >= b.End {
+					return false
+				}
+				if i > 0 && blocks[i-1].End >= b.Start {
+					return false
+				}
+			}
+		}
+		// Total must match model.
+		var total int64
+		for range model {
+			total++
+		}
+		return s.Total() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeSetNextUncoveredProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s RangeSet
+		model := naiveSet{}
+		for op := 0; op < 50; op++ {
+			start := int64(rng.Intn(200))
+			end := start + 1 + int64(rng.Intn(10))
+			s.Add(start, end)
+			model.add(start, end)
+		}
+		for x := int64(0); x < 220; x++ {
+			got := s.NextUncovered(x)
+			want := x
+			for model[want] {
+				want++
+			}
+			if got != want {
+				t.Logf("NextUncovered(%d) = %d, want %d", x, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

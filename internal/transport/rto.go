@@ -1,0 +1,87 @@
+package transport
+
+import "tlt/internal/sim"
+
+// RTOConfig selects how a transport computes its retransmission timeout.
+type RTOConfig struct {
+	// Min clamps the estimated RTO from below (Linux RTOmin; the paper
+	// evaluates 4 ms and 200 µs).
+	Min sim.Time
+	// Max clamps from above.
+	Max sim.Time
+	// Fixed, if non-zero, bypasses estimation entirely (the paper's
+	// "aggressive static timeout" experiment, Fig. 2) and for RoCE
+	// transports that use a static RTO.
+	Fixed sim.Time
+	// Granularity models timer resolution added to the variance term
+	// (Linux uses 4*rttvar but at least one tick).
+	Granularity sim.Time
+}
+
+// DefaultRTO returns the Linux-like defaults the paper's baseline uses.
+func DefaultRTO() RTOConfig {
+	return RTOConfig{
+		Min:         4 * sim.Millisecond,
+		Max:         60 * sim.Second,
+		Granularity: 10 * sim.Microsecond, // VMA high-resolution timer (§6)
+	}
+}
+
+// RTOEstimator implements the standard SRTT/RTTVAR smoothing (RFC 6298 /
+// Linux): srtt = 7/8 srtt + 1/8 r, rttvar = 3/4 rttvar + 1/4 |srtt - r|,
+// RTO = srtt + max(4*rttvar, granularity), clamped to [Min, Max].
+type RTOEstimator struct {
+	cfg    RTOConfig
+	srtt   sim.Time
+	rttvar sim.Time
+	seeded bool
+}
+
+// NewRTOEstimator returns an estimator with the given configuration.
+func NewRTOEstimator(cfg RTOConfig) *RTOEstimator {
+	if cfg.Max == 0 {
+		cfg.Max = 60 * sim.Second
+	}
+	return &RTOEstimator{cfg: cfg}
+}
+
+// Sample folds a new RTT measurement into the estimate.
+func (e *RTOEstimator) Sample(rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	if !e.seeded {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.seeded = true
+		return
+	}
+	diff := e.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+// SRTT returns the smoothed RTT (zero until the first sample).
+func (e *RTOEstimator) SRTT() sim.Time { return e.srtt }
+
+// RTO returns the current timeout value.
+func (e *RTOEstimator) RTO() sim.Time {
+	if e.cfg.Fixed > 0 {
+		return e.cfg.Fixed
+	}
+	v := 4 * e.rttvar
+	if v < e.cfg.Granularity {
+		v = e.cfg.Granularity
+	}
+	rto := e.srtt + v
+	if rto < e.cfg.Min {
+		rto = e.cfg.Min
+	}
+	if rto > e.cfg.Max {
+		rto = e.cfg.Max
+	}
+	return rto
+}

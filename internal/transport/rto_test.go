@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"testing"
+
+	"tlt/internal/sim"
+)
+
+func TestRTOFirstSample(t *testing.T) {
+	e := NewRTOEstimator(RTOConfig{Min: sim.Millisecond, Max: time60(), Granularity: 10 * sim.Microsecond})
+	if e.SRTT() != 0 {
+		t.Fatal("SRTT should start at zero")
+	}
+	e.Sample(100 * sim.Microsecond)
+	if e.SRTT() != 100*sim.Microsecond {
+		t.Fatalf("SRTT = %v", e.SRTT())
+	}
+	// srtt + 4*rttvar = 100 + 200 = 300us, clamped up to 1ms.
+	if got := e.RTO(); got != sim.Millisecond {
+		t.Fatalf("RTO = %v, want RTOmin clamp 1ms", got)
+	}
+}
+
+func time60() sim.Time { return 60 * sim.Second }
+
+func TestRTOTracksVariance(t *testing.T) {
+	e := NewRTOEstimator(RTOConfig{Min: 100 * sim.Microsecond, Granularity: sim.Microsecond})
+	// Stable RTT: variance decays, RTO approaches SRTT.
+	for i := 0; i < 100; i++ {
+		e.Sample(200 * sim.Microsecond)
+	}
+	stable := e.RTO()
+	if stable > 250*sim.Microsecond {
+		t.Fatalf("stable RTO = %v, want close to 200us", stable)
+	}
+	// A burst of variance inflates the RTO well beyond the RTT, the
+	// effect Figure 1 documents.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			e.Sample(2 * sim.Millisecond)
+		} else {
+			e.Sample(100 * sim.Microsecond)
+		}
+	}
+	if e.RTO() < 2*sim.Millisecond {
+		t.Fatalf("volatile RTO = %v, want inflated above max RTT", e.RTO())
+	}
+}
+
+func TestRTOFixed(t *testing.T) {
+	e := NewRTOEstimator(RTOConfig{Fixed: 160 * sim.Microsecond, Min: 4 * sim.Millisecond})
+	e.Sample(5 * sim.Millisecond)
+	if got := e.RTO(); got != 160*sim.Microsecond {
+		t.Fatalf("fixed RTO = %v", got)
+	}
+}
+
+func TestRTOClampMax(t *testing.T) {
+	e := NewRTOEstimator(RTOConfig{Min: sim.Microsecond, Max: 10 * sim.Millisecond})
+	e.Sample(sim.Second)
+	if got := e.RTO(); got != 10*sim.Millisecond {
+		t.Fatalf("RTO = %v, want clamped to 10ms", got)
+	}
+}
+
+func TestRTOIgnoresNonPositiveSamples(t *testing.T) {
+	e := NewRTOEstimator(RTOConfig{Min: sim.Millisecond})
+	e.Sample(0)
+	e.Sample(-5)
+	if e.SRTT() != 0 {
+		t.Fatal("non-positive samples must be ignored")
+	}
+}

@@ -1,0 +1,48 @@
+package tcp
+
+import (
+	"tlt/internal/fabric"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+)
+
+// Conn bundles the two endpoints of a connection.
+type Conn struct {
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// NewConn creates and registers a sender on src and a receiver on dst for
+// flow, without writing data. Use for persistent application connections.
+func NewConn(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Config,
+	rec *stats.FlowRecord, recorder *stats.Recorder) *Conn {
+	snd := NewSender(s, src, flow, cfg, rec, recorder, nil)
+	rcv := NewReceiver(s, dst, flow, cfg)
+	src.Register(flow.ID, snd)
+	dst.Register(flow.ID, rcv)
+	return &Conn{Sender: snd, Receiver: rcv}
+}
+
+// StartFlow creates a connection carrying exactly flow.Size bytes,
+// beginning at flow.Start. The flow record's completion is stamped when
+// the receiver has delivered the full payload (the paper measures FCT at
+// the data sink). onDone, if non-nil, fires at that moment.
+func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Config,
+	recorder *stats.Recorder, onDone func(*stats.FlowRecord)) *Conn {
+	rec := recorder.NewFlowRecord(flow)
+	c := NewConn(s, src, dst, flow, cfg, rec, recorder)
+	c.Receiver.OnDeliver = func(total int64) {
+		if total >= flow.Size && !rec.Done {
+			recorder.FlowDone(rec, s.Now())
+			if onDone != nil {
+				onDone(rec)
+			}
+		}
+	}
+	s.At(flow.Start, func() {
+		c.Sender.Write(flow.Size)
+		c.Sender.Close()
+	})
+	return c
+}

@@ -1,0 +1,73 @@
+package tcp
+
+import (
+	"tlt/internal/core"
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/transport"
+)
+
+// Receiver is the receiving endpoint: it reassembles the byte stream,
+// generates an immediate ACK for every data packet (carrying SACK blocks
+// and the DCTCP-accurate ECN echo), and runs the TLT receive-side state
+// machine.
+type Receiver struct {
+	s    *sim.Sim
+	host *fabric.Host
+	flow *transport.Flow
+	cfg  Config
+
+	rcvNxt   int64
+	received transport.RangeSet // out-of-order ranges above rcvNxt
+
+	tlt *core.WindowReceiver
+
+	// OnDeliver is invoked whenever in-order delivery progresses, with
+	// the total in-order bytes now available to the application.
+	OnDeliver func(total int64)
+}
+
+// NewReceiver constructs a receiver on host for flow.
+func NewReceiver(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config) *Receiver {
+	return &Receiver{
+		s: s, host: host, flow: flow, cfg: cfg,
+		tlt: core.NewWindowReceiver(cfg.TLT),
+	}
+}
+
+// Delivered returns the in-order bytes delivered so far.
+func (r *Receiver) Delivered() int64 { return r.rcvNxt }
+
+// Handle implements fabric.PacketHandler for the data path.
+func (r *Receiver) Handle(pkt *packet.Packet) {
+	if pkt.Type != packet.Data {
+		return
+	}
+	r.tlt.OnData(pkt.Mark)
+
+	old := r.rcvNxt
+	if pkt.Seq+int64(pkt.Len) > r.rcvNxt {
+		r.received.Add(pkt.Seq, pkt.Seq+int64(pkt.Len))
+		r.rcvNxt = r.received.NextUncovered(r.rcvNxt)
+		r.received.TrimBelow(r.rcvNxt)
+	}
+
+	ack := &packet.Packet{
+		Flow: r.flow.ID, Dst: r.flow.Src,
+		Type: packet.Ack,
+		TC:   r.cfg.TrafficClass,
+		Ack:  r.rcvNxt,
+		Sack: r.received.Blocks(r.cfg.MaxSackBlocks),
+		ECE:  pkt.CE,
+		Mark: r.tlt.TakeAckMark(),
+	}
+	if !pkt.IsRetx && pkt.SentAt > 0 {
+		ack.EchoTS = pkt.SentAt
+	}
+	r.host.Send(ack)
+
+	if r.rcvNxt > old && r.OnDeliver != nil {
+		r.OnDeliver(r.rcvNxt)
+	}
+}

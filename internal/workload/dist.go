@@ -1,0 +1,110 @@
+// Package workload generates the paper's traffic mixes: Poisson-arrival
+// background flows drawn from published datacenter flow-size
+// distributions, and on/off incast foreground traffic (95 senders × 8
+// flows × 8 kB to one receiver by default).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tlt/internal/sim"
+)
+
+// SizeDist is an empirical flow-size CDF sampled by inverse transform
+// with linear interpolation between knots.
+type SizeDist struct {
+	Name string
+	x    []float64 // sizes in bytes, ascending
+	cdf  []float64 // cumulative probability at x, ascending, ends at 1
+}
+
+// NewSizeDist builds a distribution from (size, cdf) knots. The first
+// knot's cdf may be > 0 (mass at the minimum size); the last must be 1.
+func NewSizeDist(name string, knots [][2]float64) *SizeDist {
+	d := &SizeDist{Name: name}
+	for _, k := range knots {
+		d.x = append(d.x, k[0])
+		d.cdf = append(d.cdf, k[1])
+	}
+	if !sort.Float64sAreSorted(d.x) || !sort.Float64sAreSorted(d.cdf) {
+		panic(fmt.Sprintf("workload: %s knots not monotone", name))
+	}
+	if d.cdf[len(d.cdf)-1] != 1 {
+		panic(fmt.Sprintf("workload: %s cdf does not reach 1", name))
+	}
+	return d
+}
+
+// Sample draws one flow size in bytes (at least 1).
+func (d *SizeDist) Sample(rng *sim.RNG) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i == 0 {
+		if v := int64(d.x[0]); v > 0 {
+			return v
+		}
+		return 1
+	}
+	if i >= len(d.cdf) {
+		i = len(d.cdf) - 1
+	}
+	x0, x1 := d.x[i-1], d.x[i]
+	c0, c1 := d.cdf[i-1], d.cdf[i]
+	v := x0
+	if c1 > c0 {
+		v = x0 + (x1-x0)*(u-c0)/(c1-c0)
+	}
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// Mean returns the distribution mean in bytes (piecewise-uniform).
+func (d *SizeDist) Mean() float64 {
+	m := d.x[0] * d.cdf[0]
+	for i := 1; i < len(d.x); i++ {
+		p := d.cdf[i] - d.cdf[i-1]
+		m += p * (d.x[i-1] + d.x[i]) / 2
+	}
+	return m
+}
+
+// WebSearch is the "background traffic" distribution from the DCTCP
+// paper (Alizadeh et al. 2010), the paper's default background workload;
+// its mean is ~1.7 MB as §7.1 states.
+var WebSearch = NewSizeDist("websearch", [][2]float64{
+	{6_000, 0}, {10_000, 0.15}, {18_000, 0.2}, {28_000, 0.3},
+	{50_000, 0.4}, {80_000, 0.53}, {200_000, 0.6}, {1_000_000, 0.7},
+	{2_000_000, 0.8}, {5_000_000, 0.9}, {10_000_000, 0.97}, {30_000_000, 1},
+})
+
+// WebServer approximates the Facebook web-server distribution (Roy et
+// al., SIGCOMM'15): dominated by sub-kilobyte responses with a thin heavy
+// tail.
+var WebServer = NewSizeDist("webserver", [][2]float64{
+	{100, 0}, {200, 0.3}, {300, 0.55}, {500, 0.7}, {1_000, 0.8},
+	{2_000, 0.85}, {10_000, 0.9}, {100_000, 0.96}, {1_000_000, 0.99},
+	{10_000_000, 1},
+})
+
+// CacheFollower approximates the Facebook cache-follower distribution
+// (Roy et al., SIGCOMM'15): small and medium objects with a modest tail.
+var CacheFollower = NewSizeDist("cachefollower", [][2]float64{
+	{100, 0}, {300, 0.2}, {1_000, 0.4}, {2_000, 0.55}, {5_000, 0.7},
+	{10_000, 0.8}, {50_000, 0.9}, {500_000, 0.97}, {5_000_000, 1},
+})
+
+// ByName returns a built-in distribution.
+func ByName(name string) (*SizeDist, bool) {
+	switch name {
+	case "websearch":
+		return WebSearch, true
+	case "webserver":
+		return WebServer, true
+	case "cachefollower":
+		return CacheFollower, true
+	}
+	return nil, false
+}

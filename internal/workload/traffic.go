@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"sort"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/transport"
+)
+
+// TrafficConfig describes the paper's benchmark mix (§7.1): Poisson
+// background flows between random host pairs plus periodic incast events
+// in which FanOut senders each open FlowsPerSender flows of FgFlowSize
+// bytes to one receiver.
+type TrafficConfig struct {
+	NumHosts int
+
+	// Load is the average utilization of the ToR-to-core links
+	// contributed by all traffic; FgShare of the volume is foreground.
+	Load    float64
+	FgShare float64
+
+	// CoreCapacityBps is the aggregate ToR→core capacity; InterRackProb
+	// is the probability a random background flow crosses the core.
+	CoreCapacityBps float64
+	InterRackProb   float64
+
+	NumBgFlows     int
+	Dist           *SizeDist
+	FanOut         int   // incast senders per event (95)
+	FlowsPerSender int   // 8
+	FgFlowSize     int64 // 8 kB
+
+	Seed int64
+}
+
+// DefaultTraffic returns the §7.1 mix for the default 96-host leaf-spine
+// fabric at the given load, scaled to numBgFlows background flows.
+func DefaultTraffic(load float64, numBgFlows int) TrafficConfig {
+	const hosts = 96
+	return TrafficConfig{
+		NumHosts:        hosts,
+		Load:            load,
+		FgShare:         0.05,
+		CoreCapacityBps: 12 * 4 * 40e9,
+		InterRackProb:   1 - 7.0/95.0,
+		NumBgFlows:      numBgFlows,
+		Dist:            WebSearch,
+		FanOut:          hosts - 1,
+		FlowsPerSender:  8,
+		FgFlowSize:      8_000,
+		Seed:            1,
+	}
+}
+
+// Generate produces the flow arrival schedule, sorted by start time.
+// Flow IDs start at firstID.
+func Generate(cfg TrafficConfig, firstID packet.FlowID) []*transport.Flow {
+	rng := sim.NewRNG(cfg.Seed)
+	var flows []*transport.Flow
+	id := firstID
+
+	// Background: Poisson arrivals of Dist-sized flows between random
+	// distinct hosts. The aggregate rate is chosen so the background
+	// share of Load is met on the core links.
+	bgLoad := cfg.Load * (1 - cfg.FgShare)
+	meanBits := cfg.Dist.Mean() * 8
+	bgBps := bgLoad * cfg.CoreCapacityBps / cfg.InterRackProb
+	bgInterval := sim.Time(meanBits / bgBps * 1e9) // ns between arrivals
+	var horizon sim.Time
+	t := sim.Time(0)
+	for i := 0; i < cfg.NumBgFlows; i++ {
+		t += rng.ExpDuration(bgInterval)
+		src := rng.Intn(cfg.NumHosts)
+		dst := rng.Intn(cfg.NumHosts - 1)
+		if dst >= src {
+			dst++
+		}
+		flows = append(flows, &transport.Flow{
+			ID:    id,
+			Src:   packet.NodeID(src),
+			Dst:   packet.NodeID(dst),
+			Size:  cfg.Dist.Sample(rng),
+			Start: t,
+		})
+		id++
+	}
+	horizon = t
+
+	// Foreground: incast events at a rate giving FgShare of volume.
+	if cfg.FgShare > 0 && cfg.FanOut > 0 {
+		eventBytes := float64(cfg.FanOut) * float64(cfg.FlowsPerSender) * float64(cfg.FgFlowSize)
+		fgBps := cfg.Load * cfg.FgShare * cfg.CoreCapacityBps / cfg.InterRackProb
+		eventInterval := sim.Time(eventBytes * 8 / fgBps * 1e9)
+		// At reduced background scale the horizon can be shorter than
+		// the nominal inter-event gap; guarantee a few incast events so
+		// foreground tails remain measurable (this raises the effective
+		// fg share on tiny runs, which the quick scale accepts).
+		if eventInterval > horizon/3 && horizon > 0 {
+			eventInterval = horizon / 3
+		}
+		for t := rng.ExpDuration(eventInterval); t < horizon; t += rng.ExpDuration(eventInterval) {
+			dst := rng.Intn(cfg.NumHosts)
+			senders := rng.Perm(cfg.NumHosts)
+			cnt := 0
+			for _, src := range senders {
+				if src == dst {
+					continue
+				}
+				if cnt >= cfg.FanOut {
+					break
+				}
+				cnt++
+				for k := 0; k < cfg.FlowsPerSender; k++ {
+					flows = append(flows, &transport.Flow{
+						ID:    id,
+						Src:   packet.NodeID(src),
+						Dst:   packet.NodeID(dst),
+						Size:  cfg.FgFlowSize,
+						Start: t,
+						FG:    true,
+					})
+					id++
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start })
+	return flows
+}

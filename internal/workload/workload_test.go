@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tlt/internal/sim"
+)
+
+func TestWebSearchMeanMatchesPaper(t *testing.T) {
+	// §7.1: "an average flow size of 1.72 MB".
+	m := WebSearch.Mean()
+	if m < 1.55e6 || m > 1.9e6 {
+		t.Fatalf("web-search mean = %.0f bytes, want ~1.72MB", m)
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	for _, d := range []*SizeDist{WebSearch, WebServer, CacheFollower} {
+		rng := sim.NewRNG(1)
+		lo := int64(d.x[0])
+		hi := int64(d.x[len(d.x)-1])
+		for i := 0; i < 10_000; i++ {
+			v := d.Sample(rng)
+			if v < 1 || v < lo-1 || v > hi {
+				t.Fatalf("%s: sample %d out of [%d, %d]", d.Name, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestEmpiricalMeanApproachesAnalytic(t *testing.T) {
+	for _, d := range []*SizeDist{WebSearch, WebServer, CacheFollower} {
+		rng := sim.NewRNG(7)
+		var sum float64
+		const n = 400_000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(rng))
+		}
+		got := sum / n
+		want := d.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("%s: empirical mean %.0f vs analytic %.0f", d.Name, got, want)
+		}
+	}
+}
+
+func TestSampleMonotoneInU(t *testing.T) {
+	// Property: inverse-CDF sampling preserves order of the uniform
+	// draws (sampling determinism up to RNG).
+	f := func(seed int64) bool {
+		a := sim.NewRNG(seed)
+		b := sim.NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if WebSearch.Sample(a) != WebSearch.Sample(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"websearch", "webserver", "cachefollower"} {
+		if d, ok := ByName(name); !ok || d.Name != name {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestBadDistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-monotone knots should panic")
+		}
+	}()
+	NewSizeDist("bad", [][2]float64{{10, 0}, {5, 1}})
+}
+
+func TestGenerateSchedule(t *testing.T) {
+	cfg := DefaultTraffic(0.4, 500)
+	cfg.Seed = 3
+	flows := Generate(cfg, 1)
+	if len(flows) <= 500 {
+		t.Fatalf("flows = %d, expected background plus foreground", len(flows))
+	}
+	if !sort.SliceIsSorted(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start }) {
+		t.Fatal("schedule not sorted by start time")
+	}
+	seen := map[uint64]bool{}
+	var fg, bg int
+	for _, f := range flows {
+		if seen[uint64(f.ID)] {
+			t.Fatal("duplicate flow ID")
+		}
+		seen[uint64(f.ID)] = true
+		if f.Src == f.Dst {
+			t.Fatal("flow to self")
+		}
+		if int(f.Src) >= cfg.NumHosts || int(f.Dst) >= cfg.NumHosts {
+			t.Fatal("host out of range")
+		}
+		if f.FG {
+			fg++
+			if f.Size != cfg.FgFlowSize {
+				t.Fatalf("fg size = %d", f.Size)
+			}
+		} else {
+			bg++
+			if f.Size < 1 {
+				t.Fatal("bg size < 1")
+			}
+		}
+	}
+	if bg != 500 {
+		t.Fatalf("bg flows = %d", bg)
+	}
+	// Incast events come in bursts of FanOut*FlowsPerSender flows.
+	if fg%(cfg.FanOut*cfg.FlowsPerSender) != 0 {
+		t.Fatalf("fg flows = %d not a multiple of %d", fg, cfg.FanOut*cfg.FlowsPerSender)
+	}
+	if fg == 0 {
+		t.Fatal("no incast events generated")
+	}
+}
+
+func TestGenerateDeterministicBySeed(t *testing.T) {
+	cfg := DefaultTraffic(0.3, 200)
+	cfg.Seed = 5
+	a := Generate(cfg, 1)
+	b := Generate(cfg, 1)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different flow counts")
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	cfg.Seed = 6
+	c := Generate(cfg, 1)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Size != c[i].Size {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestIncastEventStructure(t *testing.T) {
+	cfg := DefaultTraffic(0.4, 300)
+	cfg.Seed = 9
+	flows := Generate(cfg, 1)
+	// Group fg flows by start time: each event has one receiver and
+	// FanOut senders with FlowsPerSender flows each.
+	events := map[sim.Time][]int{}
+	for i, f := range flows {
+		if f.FG {
+			events[f.Start] = append(events[f.Start], i)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for at, idxs := range events {
+		dst := flows[idxs[0]].Dst
+		perSender := map[int32]int{}
+		for _, i := range idxs {
+			f := flows[i]
+			if f.Dst != dst {
+				t.Fatalf("event at %v has multiple receivers", at)
+			}
+			if f.Src == dst {
+				t.Fatal("receiver sending to itself")
+			}
+			perSender[int32(f.Src)]++
+		}
+		if len(perSender) != cfg.FanOut {
+			t.Fatalf("event at %v has %d senders, want %d", at, len(perSender), cfg.FanOut)
+		}
+		for s, cnt := range perSender {
+			if cnt != cfg.FlowsPerSender {
+				t.Fatalf("sender %d has %d flows", s, cnt)
+			}
+		}
+	}
+}
+
+func TestFgVolumeShare(t *testing.T) {
+	cfg := DefaultTraffic(0.4, 5000)
+	cfg.Seed = 11
+	flows := Generate(cfg, 1)
+	var fgB, bgB float64
+	for _, f := range flows {
+		if f.FG {
+			fgB += float64(f.Size)
+		} else {
+			bgB += float64(f.Size)
+		}
+	}
+	share := fgB / (fgB + bgB)
+	if share < 0.02 || share > 0.12 {
+		t.Fatalf("fg share = %.3f, want near 0.05", share)
+	}
+}
