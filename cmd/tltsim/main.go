@@ -6,6 +6,8 @@
 //	tltsim -exp fig5                 # quick scale (default)
 //	tltsim -exp fig5 -bg 2000 -seeds 3
 //	tltsim -exp all -full            # paper scale (slow)
+//	tltsim -exp fig5 -audit          # run with the invariant auditor on
+//	tltsim -exp fig9 -chaos 'flap:link=rand,at=200us,down=50us,every=2ms'
 package main
 
 import (
@@ -14,20 +16,34 @@ import (
 	"os"
 	"time"
 
+	"tlt/internal/chaos"
 	"tlt/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list   = flag.Bool("list", false, "list experiments")
-		full   = flag.Bool("full", false, "paper scale: 10k background flows, 5 seeds")
-		bg     = flag.Int("bg", 0, "override background flow count")
-		seeds  = flag.Int("seeds", 0, "override seed count")
-		points = flag.Int("points", 0, "trim sweep axes to the first N points")
-		format = flag.String("format", "table", "output format: table, csv, json")
+		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list experiments")
+		full      = flag.Bool("full", false, "paper scale: 10k background flows, 5 seeds")
+		bg        = flag.Int("bg", 0, "override background flow count")
+		seeds     = flag.Int("seeds", 0, "override seed count")
+		points    = flag.Int("points", 0, "trim sweep axes to the first N points")
+		format    = flag.String("format", "table", "output format: table, csv, json")
+		chaosSpec = flag.String("chaos", "", "fault schedule, e.g. 'flap:link=rand,at=200us,down=50us,every=2ms;seed=7'")
+		auditFlag = flag.Bool("audit", false, "attach the runtime invariant auditor (panics on first violation)")
 	)
 	flag.Parse()
+
+	var plan *chaos.Plan
+	if *chaosSpec != "" {
+		var err error
+		plan, err = chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-chaos:", err)
+			os.Exit(2)
+		}
+	}
+	experiments.SetHarness(plan, *auditFlag)
 
 	if *list {
 		for _, e := range experiments.All {
@@ -56,7 +72,7 @@ func main() {
 
 	run := func(e experiments.Entry) {
 		start := time.Now()
-		rep := e.Run(scale)
+		rep := experiments.RunEntry(e, scale)
 		switch *format {
 		case "csv":
 			fmt.Print(rep.CSV())

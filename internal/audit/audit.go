@@ -1,0 +1,279 @@
+// Package audit implements a runtime invariant auditor for the fabric
+// and the TLT marking layer. It re-derives switch MMU accounting from
+// the raw enqueue/dequeue event stream — independently of the switch's
+// own counters — and checks, live on every event:
+//
+//   - shared-buffer occupancy never negative and never above the
+//     physical capacity, and the switch's occupancy counter equals the
+//     shadow (ΣQᵢ ≤ B, with ΣQᵢ re-summed from per-queue shadows);
+//   - drops are justified: a buffer-full drop only when the headroom was
+//     really short, a dynamic-threshold drop only when the
+//     Choudhury–Hahne condition held (and never under PFC), and a green
+//     (important) packet never dropped by the color threshold — the
+//     paper's core protection guarantee;
+//   - PFC XOFF/XON frames strictly alternate per ingress port;
+//   - at most one important packet in flight per window-based flow.
+//
+// In strict mode (the default) the first violation panics with a
+// packet-level context dump naming the switch, port, and packet, so a
+// broken invariant stops the run at the exact event that broke it
+// rather than surfacing as a skewed result plot.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// Auditor checks fabric and TLT invariants as events happen. It
+// implements fabric.AuditHook and core.Audit. One auditor serves a whole
+// network; create a fresh one per run.
+type Auditor struct {
+	sim *sim.Sim
+
+	// Strict makes the first violation panic with a context dump.
+	// Non-strict auditors count violations and keep the run alive
+	// (for tests of the auditor itself).
+	Strict bool
+
+	// Violations counts invariant violations observed (non-strict mode).
+	Violations int64
+	// Last holds the most recent violation report (non-strict mode).
+	Last string
+
+	// Events counts audited fabric events (enqueue+dequeue+drop+PFC),
+	// so "zero violations" can be distinguished from "never attached".
+	Events int64
+
+	switches map[*fabric.Switch]*swShadow
+	imp      map[packet.FlowID]impState
+}
+
+// swShadow is the auditor's independent re-derivation of one switch's
+// MMU state, built purely from observed enqueues and dequeues.
+type swShadow struct {
+	used   int64
+	queues map[[2]int]int64 // (egress, tc) → bytes
+	paused map[int]bool     // ingress port → XOFF outstanding
+}
+
+type impState struct {
+	inFlight bool
+	sentAt   sim.Time
+}
+
+// New returns a strict auditor.
+func New(s *sim.Sim) *Auditor {
+	return &Auditor{
+		sim:      s,
+		Strict:   true,
+		switches: make(map[*fabric.Switch]*swShadow),
+		imp:      make(map[packet.FlowID]impState),
+	}
+}
+
+// AttachSwitch registers the auditor as sw's audit hook.
+func (a *Auditor) AttachSwitch(sw *fabric.Switch) {
+	a.switches[sw] = &swShadow{
+		queues: make(map[[2]int]int64),
+		paused: make(map[int]bool),
+	}
+	sw.Audit = a
+}
+
+func (a *Auditor) shadow(sw *fabric.Switch) *swShadow {
+	sh, ok := a.switches[sw]
+	if !ok {
+		// Hook installed without AttachSwitch; adopt the switch but
+		// flag that shadow state starts from an unknown occupancy.
+		sh = &swShadow{queues: make(map[[2]int]int64), paused: make(map[int]bool)}
+		sh.used = sw.BufferUsed()
+		a.switches[sw] = sh
+	}
+	return sh
+}
+
+// violate reports one invariant violation: panic with the full context
+// dump in strict mode, count and remember it otherwise.
+func (a *Auditor) violate(dump string) {
+	if a.Strict {
+		panic("audit: invariant violation\n" + dump)
+	}
+	a.Violations++
+	a.Last = dump
+}
+
+// pktDump renders the packet-level context of a violation.
+func pktDump(sw *fabric.Switch, egress, tc int, pkt *packet.Packet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  switch=%d egress-port=%d tc=%d\n", sw.ID(), egress, tc)
+	if pkt != nil {
+		fmt.Fprintf(&b, "  packet: flow=%d %s seq=%d len=%d mark=%s color=%v src=%d dst=%d retx=%v\n",
+			pkt.Flow, pkt.Type, pkt.Seq, pkt.Len, pkt.Mark,
+			pkt.Mark.Color() == packet.Green, pkt.Src, pkt.Dst, pkt.IsRetx)
+	}
+	return b.String()
+}
+
+func (a *Auditor) header(kind string) string {
+	return fmt.Sprintf("invariant: %s\n  t=%v\n", kind, a.sim.Now())
+}
+
+// checkAccounting cross-checks the shadow MMU state against the
+// switch's own occupancy counter after an event touched it.
+func (a *Auditor) checkAccounting(sw *fabric.Switch, sh *swShadow, egress, tc int, pkt *packet.Packet, event string) {
+	if sh.used < 0 {
+		a.violate(a.header("MMU occupancy negative") +
+			fmt.Sprintf("  event=%s shadow-used=%d\n", event, sh.used) +
+			pktDump(sw, egress, tc, pkt))
+	}
+	if phys := sw.Config().BufferBytes; sh.used > phys {
+		a.violate(a.header("MMU occupancy exceeds physical buffer") +
+			fmt.Sprintf("  event=%s shadow-used=%d physical=%d\n", event, sh.used, phys) +
+			pktDump(sw, egress, tc, pkt))
+	}
+	if got := sw.BufferUsed(); got != sh.used {
+		a.violate(a.header("MMU accounting diverged from shadow") +
+			fmt.Sprintf("  event=%s switch-used=%d shadow-used=%d (Σshadow-queues=%d)\n",
+				event, got, sh.used, sh.queueSum()) +
+			pktDump(sw, egress, tc, pkt))
+	}
+	// ΣQᵢ ≤ B and ΣQᵢ consistent with occupancy, re-summed from the
+	// switch's own per-queue depths (catches queue/used skew).
+	var sum int64
+	for p := 0; p < sw.NumPorts(); p++ {
+		sum += sw.QueueBytes(p)
+	}
+	if sum != sw.BufferUsed() {
+		a.violate(a.header("ΣQᵢ != shared-buffer occupancy") +
+			fmt.Sprintf("  event=%s ΣQᵢ=%d used=%d\n", event, sum, sw.BufferUsed()) +
+			pktDump(sw, egress, tc, pkt))
+	}
+}
+
+func (sh *swShadow) queueSum() int64 {
+	var n int64
+	for _, b := range sh.queues {
+		n += b
+	}
+	return n
+}
+
+// OnEnqueue implements fabric.AuditHook.
+func (a *Auditor) OnEnqueue(sw *fabric.Switch, egress, tc int, pkt *packet.Packet) {
+	a.Events++
+	sh := a.shadow(sw)
+	size := int64(pkt.WireSize())
+	sh.used += size
+	sh.queues[[2]int{egress, tc}] += size
+	a.checkAccounting(sw, sh, egress, tc, pkt, "enqueue")
+}
+
+// OnDequeue implements fabric.AuditHook.
+func (a *Auditor) OnDequeue(sw *fabric.Switch, egress, tc int, pkt *packet.Packet) {
+	a.Events++
+	sh := a.shadow(sw)
+	size := int64(pkt.WireSize())
+	sh.used -= size
+	key := [2]int{egress, tc}
+	sh.queues[key] -= size
+	if sh.queues[key] < 0 {
+		a.violate(a.header("queue depth negative") +
+			fmt.Sprintf("  shadow-queue=%d\n", sh.queues[key]) +
+			pktDump(sw, egress, tc, pkt))
+	}
+	a.checkAccounting(sw, sh, egress, tc, pkt, "dequeue")
+}
+
+// OnDrop implements fabric.AuditHook: every drop must be justified by
+// the state the switch reported at decision time.
+func (a *Auditor) OnDrop(sw *fabric.Switch, egress, tc int, pkt *packet.Packet, reason fabric.DropReason, qBytes, free int64) {
+	a.Events++
+	sh := a.shadow(sw)
+	size := int64(pkt.WireSize())
+	cfg := sw.Config()
+	green := pkt.Mark.Color() == packet.Green
+
+	ctx := func(kind string) string {
+		return a.header(kind) +
+			fmt.Sprintf("  reason=%s queue-bytes=%d free=%d pkt-size=%d alpha=%v K=%d\n",
+				reason, qBytes, free, size, cfg.Alpha, cfg.ColorThreshold) +
+			pktDump(sw, egress, tc, pkt)
+	}
+
+	switch reason {
+	case fabric.DropReasonBufferFull:
+		if free >= size {
+			a.violate(ctx("buffer-full drop with headroom"))
+		}
+	case fabric.DropReasonColor:
+		// The paper's protection guarantee: color-aware dropping may
+		// only ever discard red (unimportant) packets.
+		if green {
+			a.violate(ctx("green packet dropped by color threshold"))
+		}
+		if cfg.ColorThreshold <= 0 || qBytes < cfg.ColorThreshold {
+			a.violate(ctx("color drop below threshold K"))
+		}
+	case fabric.DropReasonDynamic:
+		if cfg.PFC {
+			a.violate(ctx("dynamic-threshold drop in lossless (PFC) mode"))
+		}
+		if float64(qBytes)+float64(size) <= cfg.Alpha*float64(free) {
+			a.violate(ctx("dynamic-threshold drop with headroom"))
+		}
+	}
+	// A drop leaves occupancy untouched; the counters must still agree.
+	a.checkAccounting(sw, sh, egress, tc, pkt, "drop")
+}
+
+// OnPFC implements fabric.AuditHook: XOFF and XON must strictly
+// alternate per ingress port.
+func (a *Auditor) OnPFC(sw *fabric.Switch, port int, pause bool) {
+	a.Events++
+	sh := a.shadow(sw)
+	if pause {
+		if sh.paused[port] {
+			a.violate(a.header("duplicate PFC XOFF") +
+				fmt.Sprintf("  switch=%d ingress-port=%d already paused\n", sw.ID(), port))
+		}
+		sh.paused[port] = true
+	} else {
+		if !sh.paused[port] {
+			a.violate(a.header("PFC XON without matching XOFF") +
+				fmt.Sprintf("  switch=%d ingress-port=%d not paused\n", sw.ID(), port))
+		}
+		sh.paused[port] = false
+	}
+}
+
+// OnImportantSend implements core.Audit: a window-based flow may never
+// have two important packets in flight.
+func (a *Auditor) OnImportantSend(flow packet.FlowID, now sim.Time) {
+	a.Events++
+	st := a.imp[flow]
+	if st.inFlight {
+		a.violate(a.header("second important packet in flight") +
+			fmt.Sprintf("  flow=%d first-sent-at=%v second-at=%v\n", flow, st.sentAt, now))
+	}
+	a.imp[flow] = impState{inFlight: true, sentAt: now}
+}
+
+// OnImportantClear implements core.Audit.
+func (a *Auditor) OnImportantClear(flow packet.FlowID, now sim.Time) {
+	a.Events++
+	a.imp[flow] = impState{}
+}
+
+// Summary renders a one-line audit result for reports.
+func (a *Auditor) Summary() string {
+	if a.Violations == 0 {
+		return fmt.Sprintf("audit: %d events, 0 violations", a.Events)
+	}
+	return fmt.Sprintf("audit: %d events, %d VIOLATIONS (last: %s)",
+		a.Events, a.Violations, strings.SplitN(a.Last, "\n", 2)[0])
+}

@@ -1,0 +1,204 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/topo"
+)
+
+const us = sim.Time(1000)
+
+type sink struct{ n int }
+
+func (r *sink) Handle(*packet.Packet) { r.n++ }
+
+// overloadStar builds a 4-host star whose switch is configured to drop
+// (tiny buffer, color threshold) and blasts mixed-color traffic from
+// three senders into host 0, with the auditor attached.
+func overloadStar(t *testing.T, strict bool) (*sim.Sim, *topo.Network, *Auditor) {
+	t.Helper()
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       4,
+		LinkRateBps: 40e9,
+		LinkDelay:   us,
+		Switch: fabric.SwitchConfig{
+			BufferBytes:    40_000,
+			Alpha:          1,
+			ColorThreshold: 10_000,
+		},
+	})
+	a := New(s)
+	a.Strict = strict
+	a.AttachSwitch(net.Switches[0])
+	rx := &sink{}
+	for f := packet.FlowID(1); f <= 3; f++ {
+		net.Hosts[0].Register(f, rx)
+	}
+	for i := 0; i < 900; i++ {
+		i := i
+		s.At(sim.Time(i)*200, func() {
+			src := 1 + i%3
+			mark := packet.Unimportant
+			if i%7 == 0 {
+				mark = packet.ImportantData
+			}
+			net.Hosts[src].Send(&packet.Packet{
+				Flow: packet.FlowID(src), Dst: 0, Type: packet.Data,
+				Mark: mark, Len: 1000, Seq: int64(i),
+			})
+		})
+	}
+	return s, net, a
+}
+
+// TestCleanTrafficNoViolations: heavy overload with legitimate color and
+// dynamic-threshold drops must produce zero violations.
+func TestCleanTrafficNoViolations(t *testing.T) {
+	s, net, a := overloadStar(t, true) // strict: a violation would panic
+	s.RunAll()
+	if a.Events == 0 {
+		t.Fatal("auditor saw no events — hook not attached")
+	}
+	if net.Switches[0].Ctr.TotalDrops() == 0 {
+		t.Fatal("overload produced no drops; test is not exercising admission")
+	}
+	if net.Switches[0].Ctr.DropRedColor == 0 {
+		t.Fatal("no color-aware drops; color threshold path unexercised")
+	}
+	if a.Violations != 0 {
+		t.Fatalf("clean run reported %d violations: %s", a.Violations, a.Last)
+	}
+}
+
+// TestCatchesSkewedAccounting is the acceptance-criteria test: corrupt
+// the MMU occupancy counter mid-run and the strict auditor must panic on
+// the next buffer event with a dump naming the switch, port, and packet.
+func TestCatchesSkewedAccounting(t *testing.T) {
+	s, net, _ := overloadStar(t, true)
+	s.At(30*us, func() { net.Switches[0].SkewUsedForTest(+4096) })
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("auditor did not panic on skewed MMU accounting")
+		}
+		dump, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string dump", r)
+		}
+		for _, want := range []string{
+			"MMU accounting diverged",
+			"switch=1000",   // the star's switch ID
+			"egress-port=",  // port context
+			"packet: flow=", // packet context
+			"switch-used=",  // actual vs shadow values
+			"shadow-used=",
+		} {
+			if !strings.Contains(dump, want) {
+				t.Errorf("dump missing %q:\n%s", want, dump)
+			}
+		}
+	}()
+	s.RunAll()
+}
+
+// TestNonStrictCounts: the same corruption in non-strict mode counts
+// violations instead of panicking.
+func TestNonStrictCounts(t *testing.T) {
+	s, net, a := overloadStar(t, false)
+	s.At(30*us, func() { net.Switches[0].SkewUsedForTest(+4096) })
+	s.RunAll()
+	if a.Violations == 0 {
+		t.Fatal("non-strict auditor counted no violations after skew")
+	}
+	if !strings.Contains(a.Last, "switch=1000") {
+		t.Errorf("Last violation lacks switch context: %s", a.Last)
+	}
+	if !strings.Contains(a.Summary(), "VIOLATIONS") {
+		t.Errorf("Summary() = %q", a.Summary())
+	}
+}
+
+// TestSingleImportantInvariant: two important sends without a clear is a
+// violation; send-clear-send is fine.
+func TestSingleImportantInvariant(t *testing.T) {
+	a := New(sim.New())
+	a.Strict = false
+
+	a.OnImportantSend(7, 10)
+	a.OnImportantClear(7, 20)
+	a.OnImportantSend(7, 30)
+	if a.Violations != 0 {
+		t.Fatalf("legal send/clear/send flagged: %s", a.Last)
+	}
+	a.OnImportantSend(7, 40) // second in flight
+	if a.Violations != 1 {
+		t.Fatalf("double in-flight not flagged (violations=%d)", a.Violations)
+	}
+	if !strings.Contains(a.Last, "flow=7") {
+		t.Errorf("violation lacks flow context: %s", a.Last)
+	}
+	// Independent flows don't interfere.
+	a.OnImportantSend(8, 50)
+	if a.Violations != 1 {
+		t.Fatalf("independent flow flagged: %s", a.Last)
+	}
+}
+
+// TestPFCPairing: XOFF/XON must alternate per port.
+func TestPFCPairing(t *testing.T) {
+	s := sim.New()
+	sw := fabric.NewSwitch(s, 1, sim.NewRNG(1), fabric.SwitchConfig{Ports: 2, BufferBytes: 1000})
+	a := New(s)
+	a.Strict = false
+	a.AttachSwitch(sw)
+
+	a.OnPFC(sw, 0, true)
+	a.OnPFC(sw, 0, false)
+	a.OnPFC(sw, 1, true)
+	if a.Violations != 0 {
+		t.Fatalf("legal pause sequence flagged: %s", a.Last)
+	}
+	a.OnPFC(sw, 1, true) // duplicate XOFF
+	if a.Violations != 1 {
+		t.Fatal("duplicate XOFF not flagged")
+	}
+	a.OnPFC(sw, 0, false) // XON while not paused (port 0 resumed already)
+	if a.Violations != 2 {
+		t.Fatal("unmatched XON not flagged")
+	}
+}
+
+// TestGreenColorDropFlagged: a green packet reported dropped by the
+// color threshold is always a violation — the protection guarantee.
+func TestGreenColorDropFlagged(t *testing.T) {
+	s := sim.New()
+	sw := fabric.NewSwitch(s, 1, sim.NewRNG(1), fabric.SwitchConfig{
+		Ports: 2, BufferBytes: 100_000, ColorThreshold: 10_000,
+	})
+	a := New(s)
+	a.Strict = false
+	a.AttachSwitch(sw)
+
+	green := &packet.Packet{Flow: 3, Type: packet.Data, Mark: packet.ImportantData, Len: 1000}
+	a.OnDrop(sw, 0, 0, green, fabric.DropReasonColor, 20_000, 50_000)
+	if a.Violations == 0 {
+		t.Fatal("green color-drop not flagged")
+	}
+	if !strings.Contains(a.Last, "green packet dropped by color threshold") {
+		t.Errorf("wrong violation: %s", a.Last)
+	}
+
+	// A red drop above K with the occupancy in sync is legitimate.
+	a.Violations = 0
+	red := &packet.Packet{Flow: 3, Type: packet.Data, Mark: packet.Unimportant, Len: 1000}
+	a.OnDrop(sw, 0, 0, red, fabric.DropReasonColor, 20_000, 50_000)
+	if a.Violations != 0 {
+		t.Fatalf("legal red color-drop flagged: %s", a.Last)
+	}
+}

@@ -1,0 +1,275 @@
+// Package chaos applies deterministic, seeded fault schedules to a
+// running network: link down/up flaps, Gilbert–Elliott bursty loss,
+// transient switch-buffer shrink, and host NIC freezes. The paper's §5
+// explicitly scopes TLT out of protecting against non-congestion losses
+// — it must degrade gracefully to timeout-driven recovery — and this
+// package exists to exercise exactly that boundary, reproducibly: the
+// same plan and seed always yield the identical fault event sequence.
+//
+// A Plan is declarative; Apply schedules its events onto a simulator
+// against a built topology. A "link" is a full-duplex pair: topology
+// builders append the two directional transmitters of every link
+// adjacently to Network.Txs, so link k owns Txs[2k] and Txs[2k+1].
+package chaos
+
+import (
+	"fmt"
+
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+)
+
+// RandomTarget selects a random link/switch/host per occurrence (drawn
+// from the plan's seeded RNG at event-fire time, so still deterministic).
+const RandomTarget = -1
+
+// AllTargets applies the fault to every link/switch at once.
+const AllTargets = -2
+
+// LinkFlap takes a full-duplex link down for Down, then back up.
+type LinkFlap struct {
+	Link  int      // link index (Txs pair), RandomTarget for a random pick per occurrence
+	At    sim.Time // first outage start
+	Down  sim.Time // outage duration
+	Every sim.Time // repeat period measured start-to-start (0 = once)
+	Count int      // occurrences when Every > 0 (0 = unbounded)
+	Until sim.Time // no occurrence starts at/after this time (0 = no bound)
+}
+
+// BurstyLoss installs a Gilbert–Elliott two-state loss channel on both
+// directions of a link for a window.
+type BurstyLoss struct {
+	Link        int      // link index, AllTargets for every link
+	Start, Stop sim.Time // active window (Stop 0 = forever)
+	PGoodBad    float64  // per-packet P(good→bad)
+	PBadGood    float64  // per-packet P(bad→good)
+	LossGood    float64  // drop probability in the good state
+	LossBad     float64  // drop probability in the bad state
+}
+
+// BufferShrink reduces a switch's effective MMU capacity for a window,
+// forcing drops as if part of the shared buffer failed or was
+// reconfigured away.
+type BufferShrink struct {
+	Switch   int      // switch index, AllTargets for every switch
+	At       sim.Time // first shrink start
+	Duration sim.Time // window length
+	Frac     float64  // capacity multiplier in (0, 1)
+	Every    sim.Time // repeat period (0 = once)
+	Count    int      // occurrences when Every > 0 (0 = unbounded)
+}
+
+// NICFreeze stalls a host's NIC transmitter for a window; the wire stays
+// intact, so in-flight packets still arrive and inbound traffic is
+// unaffected.
+type NICFreeze struct {
+	Host     int // host index, RandomTarget for a random pick per occurrence
+	At       sim.Time
+	Duration sim.Time
+	Every    sim.Time // repeat period (0 = once)
+	Count    int      // occurrences when Every > 0 (0 = unbounded)
+}
+
+// Plan is a declarative fault schedule. The zero value injects nothing.
+type Plan struct {
+	// Seed salts every chaos RNG; it combines with the run seed passed
+	// to Apply so replications see different (but reproducible) picks.
+	Seed int64
+
+	Flaps   []LinkFlap
+	Bursty  []BurstyLoss
+	Shrinks []BufferShrink
+	Freezes []NICFreeze
+}
+
+// Empty reports whether the plan injects no faults.
+func (p *Plan) Empty() bool {
+	return p == nil || len(p.Flaps)+len(p.Bursty)+len(p.Shrinks)+len(p.Freezes) == 0
+}
+
+// Engine is an applied plan: it owns the scheduled fault events and the
+// fault counters of one run.
+type Engine struct {
+	s   *sim.Sim
+	net *topo.Network
+	rng *sim.RNG
+	ctr stats.FaultCounters
+}
+
+// NumLinks returns the number of full-duplex links in the network.
+func NumLinks(net *topo.Network) int { return len(net.Txs) / 2 }
+
+// Apply schedules the plan's events on s against net. runSeed is the
+// experiment replication seed; the same (plan, runSeed) pair always
+// produces the identical fault sequence.
+func (p *Plan) Apply(s *sim.Sim, net *topo.Network, runSeed int64) *Engine {
+	e := &Engine{
+		s: s, net: net,
+		rng: sim.NewRNG(p.Seed*0x9e3779b9 + runSeed + 0xc4a05),
+	}
+	if p.Empty() {
+		return e
+	}
+	for _, f := range p.Flaps {
+		e.scheduleFlap(f)
+	}
+	for _, b := range p.Bursty {
+		e.scheduleBursty(b)
+	}
+	for _, sh := range p.Shrinks {
+		e.scheduleShrink(sh)
+	}
+	for _, fr := range p.Freezes {
+		e.scheduleFreeze(fr)
+	}
+	return e
+}
+
+func (e *Engine) pickLink(idx int) int {
+	n := NumLinks(e.net)
+	if n == 0 {
+		return -1
+	}
+	if idx == RandomTarget {
+		return e.rng.Intn(n)
+	}
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("chaos: link %d out of range [0, %d)", idx, n))
+	}
+	return idx
+}
+
+// scheduleFlap installs a lazily self-rescheduling flap chain: only one
+// pending event per fault stream, so unbounded repeats never bloat the
+// heap and never outlive the run horizon.
+func (e *Engine) scheduleFlap(f LinkFlap) {
+	occurrences := 0
+	var fire func()
+	fire = func() {
+		if f.Until > 0 && e.s.Now() >= f.Until {
+			return
+		}
+		link := e.pickLink(f.Link)
+		if link < 0 {
+			return
+		}
+		a, b := e.net.Txs[2*link], e.net.Txs[2*link+1]
+		a.SetLinkDown()
+		b.SetLinkDown()
+		e.ctr.LinkFlaps++
+		e.s.After(f.Down, func() {
+			a.SetLinkUp()
+			b.SetLinkUp()
+		})
+		occurrences++
+		if f.Every > 0 && (f.Count == 0 || occurrences < f.Count) {
+			e.s.After(f.Every, fire)
+		}
+	}
+	e.s.At(f.At, fire)
+}
+
+func (e *Engine) scheduleBursty(b BurstyLoss) {
+	var links []int
+	if b.Link == AllTargets {
+		for i := 0; i < NumLinks(e.net); i++ {
+			links = append(links, i)
+		}
+	} else {
+		links = []int{e.pickLink(b.Link)}
+	}
+	install := func() {
+		for _, l := range links {
+			// Each direction gets its own derived RNG so the drop
+			// sequence on one direction is independent of traffic on
+			// the other, yet fully reproducible.
+			e.net.Txs[2*l].InjectGilbertElliott(b.PGoodBad, b.PBadGood, b.LossGood, b.LossBad,
+				sim.NewRNG(e.rng.Int63()))
+			e.net.Txs[2*l+1].InjectGilbertElliott(b.PGoodBad, b.PBadGood, b.LossGood, b.LossBad,
+				sim.NewRNG(e.rng.Int63()))
+		}
+	}
+	remove := func() {
+		for _, l := range links {
+			e.net.Txs[2*l].InjectGilbertElliott(0, 0, 0, 0, nil)
+			e.net.Txs[2*l+1].InjectGilbertElliott(0, 0, 0, 0, nil)
+		}
+	}
+	e.s.At(b.Start, install)
+	if b.Stop > b.Start {
+		e.s.At(b.Stop, remove)
+	}
+}
+
+func (e *Engine) scheduleShrink(sh BufferShrink) {
+	frac := sh.Frac
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("chaos: shrink frac %v outside (0, 1)", frac))
+	}
+	var sws []int
+	if sh.Switch == AllTargets {
+		for i := range e.net.Switches {
+			sws = append(sws, i)
+		}
+	} else {
+		if sh.Switch < 0 || sh.Switch >= len(e.net.Switches) {
+			panic(fmt.Sprintf("chaos: switch %d out of range [0, %d)", sh.Switch, len(e.net.Switches)))
+		}
+		sws = []int{sh.Switch}
+	}
+	occurrences := 0
+	var fire func()
+	fire = func() {
+		for _, i := range sws {
+			sw := e.net.Switches[i]
+			sw.SetBufferLimit(int64(frac * float64(sw.Config().BufferBytes)))
+		}
+		e.ctr.BufferShrinks++
+		e.s.After(sh.Duration, func() {
+			for _, i := range sws {
+				e.net.Switches[i].SetBufferLimit(0) // restore
+			}
+		})
+		occurrences++
+		if sh.Every > 0 && (sh.Count == 0 || occurrences < sh.Count) {
+			e.s.After(sh.Every, fire)
+		}
+	}
+	e.s.At(sh.At, fire)
+}
+
+func (e *Engine) scheduleFreeze(fr NICFreeze) {
+	occurrences := 0
+	var fire func()
+	fire = func() {
+		idx := fr.Host
+		if idx == RandomTarget {
+			idx = e.rng.Intn(len(e.net.Hosts))
+		}
+		if idx < 0 || idx >= len(e.net.Hosts) {
+			panic(fmt.Sprintf("chaos: host %d out of range [0, %d)", idx, len(e.net.Hosts)))
+		}
+		tx := e.net.Hosts[idx].NICTx()
+		tx.Freeze()
+		e.ctr.NICFreezes++
+		e.s.After(fr.Duration, tx.Unfreeze)
+		occurrences++
+		if fr.Every > 0 && (fr.Count == 0 || occurrences < fr.Count) {
+			e.s.After(fr.Every, fire)
+		}
+	}
+	e.s.At(fr.At, fire)
+}
+
+// Counters returns the engine's fault counters, folding in the per-wire
+// drop counts accumulated so far. Call after the run completes.
+func (e *Engine) Counters() stats.FaultCounters {
+	c := e.ctr
+	for _, tx := range e.net.Txs {
+		c.DownDrops += tx.DownDrops()
+		c.BurstyDrops += tx.BurstyDrops()
+		c.RandomDrops += tx.InjectedDrops()
+	}
+	return c
+}

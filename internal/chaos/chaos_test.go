@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+)
+
+const us = sim.Time(1000)
+
+// rxCount counts packet arrivals for one flow.
+type rxCount struct {
+	n    int
+	last sim.Time
+	s    *sim.Sim
+}
+
+func (r *rxCount) Handle(pkt *packet.Packet) {
+	r.n++
+	r.last = r.s.Now()
+}
+
+// starRun builds a 4-host star, streams pkts green data packets from
+// host 0 to host 1 at the given spacing, applies plan, and runs to
+// completion. Returns deliveries and the engine counters.
+func starRun(t *testing.T, plan *Plan, runSeed int64, pkts int, spacing sim.Time) (*rxCount, stats.FaultCounters, *topo.Network) {
+	t.Helper()
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       4,
+		LinkRateBps: 40e9,
+		LinkDelay:   5 * us,
+		Switch:      fabric.SwitchConfig{BufferBytes: 300_000, Alpha: 1},
+	})
+	rx := &rxCount{s: s}
+	net.Hosts[1].Register(1, rx)
+	for i := 0; i < pkts; i++ {
+		i := i
+		s.At(sim.Time(i)*spacing, func() {
+			net.Hosts[0].Send(&packet.Packet{
+				Flow: 1, Dst: 1, Type: packet.Data,
+				Mark: packet.ImportantData, Len: 1000, Seq: int64(i),
+			})
+		})
+	}
+	eng := plan.Apply(s, net, runSeed)
+	s.RunAll()
+	return rx, eng.Counters(), net
+}
+
+func TestParseFullSpec(t *testing.T) {
+	p, err := Parse("seed=42;" +
+		"flap:link=rand,at=1ms,down=200us,every=2ms,count=5,until=20ms;" +
+		"ge:link=all,pgb=0.001,pbg=0.1,loss=0.3,lossgood=0.01,start=1ms,stop=5ms;" +
+		"shrink:switch=0,at=1ms,dur=500us,frac=0.25,every=3ms,count=2;" +
+		"freeze:host=3,at=2ms,dur=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	f := p.Flaps[0]
+	if f.Link != RandomTarget || f.At != 1000*us || f.Down != 200*us ||
+		f.Every != 2000*us || f.Count != 5 || f.Until != 20000*us {
+		t.Errorf("flap = %+v", f)
+	}
+	b := p.Bursty[0]
+	if b.Link != AllTargets || b.PGoodBad != 0.001 || b.PBadGood != 0.1 ||
+		b.LossBad != 0.3 || b.LossGood != 0.01 || b.Start != 1000*us || b.Stop != 5000*us {
+		t.Errorf("ge = %+v", b)
+	}
+	sh := p.Shrinks[0]
+	if sh.Switch != 0 || sh.Frac != 0.25 || sh.Duration != 500*us || sh.Every != 3000*us || sh.Count != 2 {
+		t.Errorf("shrink = %+v", sh)
+	}
+	fr := p.Freezes[0]
+	if fr.Host != 3 || fr.At != 2000*us || fr.Duration != 1000*us {
+		t.Errorf("freeze = %+v", fr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ spec, wantErr string }{
+		{"explode:at=1ms", "unknown directive"},
+		{"flap:down=1ms,color=red", "unknown key"},
+		{"flap:at=1ms", "needs down"},
+		{"ge:link=0,pgb=0.1", "needs loss"},
+		{"shrink:at=1ms,dur=1ms,frac=1.5", "outside [0, 1]"},
+		{"shrink:at=1ms,dur=1ms", "needs frac"},
+		{"freeze:host=0,at=1ms", "needs dur"},
+		{"flap:down=abc", "time"},
+		{"seed=xyz", "bad seed"},
+	} {
+		if _, err := Parse(tc.spec); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", tc.spec, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("")
+	if err != nil || !p.Empty() {
+		t.Fatalf("Parse(\"\") = %+v, %v; want empty plan", p, err)
+	}
+}
+
+// TestFlapDropsInFlight: with a 5µs wire and sub-µs packet spacing, a
+// link-down window must kill packets that were propagating when it hit.
+func TestFlapDropsInFlight(t *testing.T) {
+	plan := &Plan{Flaps: []LinkFlap{{Link: 0, At: 50 * us, Down: 20 * us}}}
+	rx, ctr, _ := starRun(t, plan, 1, 400, 500)
+	if ctr.LinkFlaps != 1 {
+		t.Fatalf("LinkFlaps = %d, want 1", ctr.LinkFlaps)
+	}
+	if ctr.DownDrops == 0 {
+		t.Fatal("no DownDrops despite packets in flight across the outage")
+	}
+	if rx.n >= 400 {
+		t.Fatalf("delivered %d of 400, expected losses", rx.n)
+	}
+	if rx.n == 0 {
+		t.Fatal("nothing delivered — link never came back up")
+	}
+}
+
+// TestFreezeStallsWithoutLoss: an NIC freeze delays traffic but loses
+// nothing; every packet arrives, the last one after the thaw.
+func TestFreezeStallsWithoutLoss(t *testing.T) {
+	thaw := 150 * us
+	plan := &Plan{Freezes: []NICFreeze{{Host: 0, At: 10 * us, Duration: thaw - 10*us}}}
+	rx, ctr, _ := starRun(t, plan, 1, 100, 500)
+	if ctr.NICFreezes != 1 {
+		t.Fatalf("NICFreezes = %d, want 1", ctr.NICFreezes)
+	}
+	if ctr.TotalInjected() != 0 {
+		t.Fatalf("freeze lost %d packets, want 0", ctr.TotalInjected())
+	}
+	if rx.n != 100 {
+		t.Fatalf("delivered %d of 100", rx.n)
+	}
+	if rx.last < thaw {
+		t.Fatalf("last delivery at %v, before thaw %v — freeze had no effect", rx.last, thaw)
+	}
+}
+
+// TestBurstyLossDrops: a Gilbert–Elliott window must cause drops inside
+// the window and none after it is removed.
+func TestBurstyLossDrops(t *testing.T) {
+	plan := &Plan{Bursty: []BurstyLoss{{
+		Link: 0, Start: 0, Stop: 100 * us,
+		PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.8,
+	}}}
+	rx, ctr, _ := starRun(t, plan, 1, 400, 500)
+	if ctr.BurstyDrops == 0 {
+		t.Fatal("no Gilbert–Elliott drops in a 0.8-loss bad state over 200 packets")
+	}
+	if int64(rx.n)+ctr.BurstyDrops != 400 {
+		t.Fatalf("delivered %d + dropped %d != 400 sent", rx.n, ctr.BurstyDrops)
+	}
+}
+
+// TestShrinkRestores: the MMU capacity comes back to the configured
+// value after the shrink window.
+func TestShrinkRestores(t *testing.T) {
+	plan := &Plan{Shrinks: []BufferShrink{{Switch: 0, At: 10 * us, Duration: 50 * us, Frac: 0.1}}}
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts: 2, LinkRateBps: 40e9, LinkDelay: us,
+		Switch: fabric.SwitchConfig{BufferBytes: 100_000, Alpha: 1},
+	})
+	plan.Apply(s, net, 1)
+	sw := net.Switches[0]
+	s.At(30*us, func() {
+		if got := sw.BufferLimit(); got != 10_000 {
+			t.Errorf("mid-shrink BufferLimit = %d, want 10000", got)
+		}
+	})
+	s.RunAll()
+	if got := sw.BufferLimit(); got != 100_000 {
+		t.Errorf("post-shrink BufferLimit = %d, want restored 100000", got)
+	}
+}
+
+// TestDeterministicFaultSequence is the acceptance-criteria core: the
+// same plan and seed applied twice yield identical fault counters and
+// identical deliveries, even with random target picks and probabilistic
+// loss in play.
+func TestDeterministicFaultSequence(t *testing.T) {
+	spec := "seed=7;" +
+		"flap:link=rand,at=20us,down=15us,every=60us,count=3;" +
+		"ge:link=all,pgb=0.02,pbg=0.3,loss=0.5,start=0s,stop=150us;" +
+		"freeze:host=rand,at=40us,dur=30us"
+	plan, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx1, ctr1, _ := starRun(t, plan, 3, 400, 500)
+	rx2, ctr2, _ := starRun(t, plan, 3, 400, 500)
+	if ctr1 != ctr2 {
+		t.Fatalf("counters diverged across identical runs:\n  %+v\n  %+v", ctr1, ctr2)
+	}
+	if rx1.n != rx2.n || rx1.last != rx2.last {
+		t.Fatalf("deliveries diverged: (%d, %v) vs (%d, %v)", rx1.n, rx1.last, rx2.n, rx2.last)
+	}
+	if ctr1.LinkFlaps != 3 || ctr1.NICFreezes != 1 {
+		t.Fatalf("schedule miscounted: %+v", ctr1)
+	}
+
+	// A different run seed must shuffle the random picks (different
+	// replication), but stay deterministic in itself.
+	rx3, ctr3, _ := starRun(t, plan, 4, 400, 500)
+	rx4, ctr4, _ := starRun(t, plan, 4, 400, 500)
+	if ctr3 != ctr4 || rx3.n != rx4.n {
+		t.Fatalf("seed-4 runs diverged: %+v vs %+v", ctr3, ctr4)
+	}
+}

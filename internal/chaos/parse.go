@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tlt/internal/sim"
+)
+
+// Parse builds a Plan from a compact CLI spec: semicolon-separated
+// directives of the form name:key=val,key=val. Durations use Go syntax
+// ("200us", "1ms500us"). Targets accept an index, "rand" (flap/freeze),
+// or "all" (ge/shrink).
+//
+//	seed=42
+//	flap:link=rand,at=1ms,down=200us,every=2ms,count=5
+//	ge:link=all,pgb=0.001,pbg=0.1,loss=0.3,start=0s
+//	shrink:switch=0,at=1ms,dur=500us,frac=0.25
+//	freeze:host=3,at=2ms,dur=1ms
+//
+// Example: "seed=7;flap:link=rand,at=1ms,down=100us,every=1ms;ge:link=0,pgb=0.01,pbg=0.2,loss=0.5"
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, directive := range strings.Split(spec, ";") {
+		directive = strings.TrimSpace(directive)
+		if directive == "" {
+			continue
+		}
+		name, argstr := directive, ""
+		if i := strings.IndexByte(directive, ':'); i >= 0 {
+			name, argstr = directive[:i], directive[i+1:]
+		}
+		if name == "seed" || strings.HasPrefix(name, "seed=") {
+			// Allow both "seed=42" (no colon) and "seed:42".
+			v := argstr
+			if v == "" {
+				v = strings.TrimPrefix(name, "seed=")
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %v", v, err)
+			}
+			p.Seed = n
+			continue
+		}
+		kv, err := parseArgs(argstr)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: directive %q: %v", directive, err)
+		}
+		switch name {
+		case "flap":
+			f := LinkFlap{Link: RandomTarget}
+			err = kv.apply(map[string]func(string) error{
+				"link":  kv.target(&f.Link, "rand", RandomTarget),
+				"at":    kv.dur(&f.At),
+				"down":  kv.dur(&f.Down),
+				"every": kv.dur(&f.Every),
+				"count": kv.num(&f.Count),
+				"until": kv.dur(&f.Until),
+			})
+			if err == nil && f.Down <= 0 {
+				err = fmt.Errorf("flap needs down=<duration>")
+			}
+			p.Flaps = append(p.Flaps, f)
+		case "ge":
+			b := BurstyLoss{Link: AllTargets, PBadGood: 0.1}
+			err = kv.apply(map[string]func(string) error{
+				"link":     kv.target(&b.Link, "all", AllTargets),
+				"start":    kv.dur(&b.Start),
+				"stop":     kv.dur(&b.Stop),
+				"pgb":      kv.prob(&b.PGoodBad),
+				"pbg":      kv.prob(&b.PBadGood),
+				"loss":     kv.prob(&b.LossBad),
+				"lossgood": kv.prob(&b.LossGood),
+			})
+			if err == nil && b.LossBad <= 0 && b.LossGood <= 0 {
+				err = fmt.Errorf("ge needs loss=<probability>")
+			}
+			p.Bursty = append(p.Bursty, b)
+		case "shrink":
+			s := BufferShrink{Switch: AllTargets}
+			err = kv.apply(map[string]func(string) error{
+				"switch": kv.target(&s.Switch, "all", AllTargets),
+				"at":     kv.dur(&s.At),
+				"dur":    kv.dur(&s.Duration),
+				"frac":   kv.prob(&s.Frac),
+				"every":  kv.dur(&s.Every),
+				"count":  kv.num(&s.Count),
+			})
+			if err == nil && (s.Frac <= 0 || s.Frac >= 1) {
+				err = fmt.Errorf("shrink needs frac in (0, 1)")
+			}
+			if err == nil && s.Duration <= 0 {
+				err = fmt.Errorf("shrink needs dur=<duration>")
+			}
+			p.Shrinks = append(p.Shrinks, s)
+		case "freeze":
+			f := NICFreeze{Host: RandomTarget}
+			err = kv.apply(map[string]func(string) error{
+				"host":  kv.target(&f.Host, "rand", RandomTarget),
+				"at":    kv.dur(&f.At),
+				"dur":   kv.dur(&f.Duration),
+				"every": kv.dur(&f.Every),
+				"count": kv.num(&f.Count),
+			})
+			if err == nil && f.Duration <= 0 {
+				err = fmt.Errorf("freeze needs dur=<duration>")
+			}
+			p.Freezes = append(p.Freezes, f)
+		default:
+			return nil, fmt.Errorf("chaos: unknown directive %q (want flap, ge, shrink, freeze, seed)", name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: directive %q: %v", directive, err)
+		}
+	}
+	return p, nil
+}
+
+type kvArgs map[string]string
+
+func parseArgs(s string) (kvArgs, error) {
+	kv := kvArgs{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("argument %q is not key=value", part)
+		}
+		kv[part[:i]] = part[i+1:]
+	}
+	return kv, nil
+}
+
+// apply dispatches every present key to its setter and rejects unknowns.
+func (kv kvArgs) apply(setters map[string]func(string) error) error {
+	for k, v := range kv {
+		set, ok := setters[k]
+		if !ok {
+			return fmt.Errorf("unknown key %q", k)
+		}
+		if err := set(v); err != nil {
+			return fmt.Errorf("key %q: %v", k, err)
+		}
+	}
+	return nil
+}
+
+func (kvArgs) dur(dst *sim.Time) func(string) error {
+	return func(v string) error {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		*dst = sim.Time(d.Nanoseconds())
+		return nil
+	}
+}
+
+func (kvArgs) num(dst *int) func(string) error {
+	return func(v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		*dst = n
+		return nil
+	}
+}
+
+func (kvArgs) prob(dst *float64) func(string) error {
+	return func(v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return err
+		}
+		if f < 0 || f > 1 {
+			return fmt.Errorf("%v outside [0, 1]", f)
+		}
+		*dst = f
+		return nil
+	}
+}
+
+// target parses an index or the given keyword mapped to sentinel.
+func (kvArgs) target(dst *int, keyword string, sentinel int) func(string) error {
+	return func(v string) error {
+		if v == keyword {
+			*dst = sentinel
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("want a non-negative index or %q", keyword)
+		}
+		*dst = n
+		return nil
+	}
+}

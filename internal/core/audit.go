@@ -1,0 +1,21 @@
+package core
+
+import (
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// Audit observes the important-packet lifecycle of window-based TLT
+// senders so a runtime invariant auditor (internal/audit) can verify the
+// central marking invariant — at most one important Data/ClockData
+// packet in flight per flow — independently of the machine's own state.
+// Methods are called synchronously from the marking path and must not
+// mutate transport state. Nil disables auditing.
+type Audit interface {
+	// OnImportantSend fires when the flow commits an important
+	// Data/ClockData transmission at time now.
+	OnImportantSend(flow packet.FlowID, now sim.Time)
+	// OnImportantClear fires when the in-flight important packet is
+	// accounted for: its echo arrived, or an RTO presumed it lost.
+	OnImportantClear(flow packet.FlowID, now sim.Time)
+}

@@ -47,6 +47,13 @@ type Config struct {
 	// every N data packets (0 disables periodic marking). The paper
 	// uses N=96 (the fabric's maximum fan-out).
 	PeriodN int
+
+	// Flow identifies this sender's flow in audit reports; transports
+	// stamp it when constructing the marking machine.
+	Flow packet.FlowID
+	// Audit, when non-nil, observes important-packet lifecycle events
+	// for runtime invariant checking (nil in normal runs).
+	Audit Audit
 }
 
 // WindowSender is the sender half of the window-based TLT state machine.
@@ -97,6 +104,9 @@ func (w *WindowSender) TakeMark(lastOfBurst bool, now sim.Time) packet.Mark {
 		w.armed = false
 		w.inFlight = true
 		w.impSentAt = now
+		if w.cfg.Audit != nil {
+			w.cfg.Audit.OnImportantSend(w.cfg.Flow, now)
+		}
 		return packet.ImportantData
 	}
 	return packet.Unimportant
@@ -107,6 +117,9 @@ func (w *WindowSender) TakeClockMark(now sim.Time) packet.Mark {
 	w.armed = false
 	w.inFlight = true
 	w.impSentAt = now
+	if w.cfg.Audit != nil {
+		w.cfg.Audit.OnImportantSend(w.cfg.Flow, now)
+	}
 	return packet.ImportantClockData
 }
 
@@ -126,6 +139,9 @@ func (w *WindowSender) OnEcho() (impSentAt sim.Time, ok bool) {
 	}
 	w.inFlight = false
 	w.armed = true
+	if w.cfg.Audit != nil {
+		w.cfg.Audit.OnImportantClear(w.cfg.Flow, w.impSentAt)
+	}
 	return w.impSentAt, true
 }
 
@@ -135,6 +151,9 @@ func (w *WindowSender) OnEcho() (impSentAt sim.Time, ok bool) {
 func (w *WindowSender) Reset() {
 	if !w.cfg.Enabled {
 		return
+	}
+	if w.inFlight && w.cfg.Audit != nil {
+		w.cfg.Audit.OnImportantClear(w.cfg.Flow, w.impSentAt)
 	}
 	w.inFlight = false
 	w.armed = true

@@ -4,7 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"tlt/internal/chaos"
+	"tlt/internal/packet"
 	"tlt/internal/sim"
+	"tlt/internal/topo"
+	"tlt/internal/workload"
 )
 
 func tinyScale() Scale { return Scale{BgFlows: 40, Seeds: 1, AppPoints: 1} }
@@ -86,7 +90,8 @@ func TestRunProducesCompleteFlows(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig14c", "fig15",
-		"fig16", "fig17", "fig18", "table1", "dumbbell", "ablation-n", "ablation-alpha"}
+		"fig16", "fig17", "fig18", "table1", "dumbbell", "ablation-n", "ablation-alpha",
+		"chaos-recovery"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}
@@ -109,6 +114,105 @@ func TestReportRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// Two runs of the same config and fault plan must be bit-identical: the
+// chaos engine derives every random choice from the plan seed and run
+// seed, never from wall-clock or global state.
+func TestRunDeterministicWithFaults(t *testing.T) {
+	rc := RunConfig{
+		Variant: Variant{Transport: "dctcp", TLT: true},
+		Traffic: trafficFor(tinyScale(), 0.4, 0.05),
+		Seed:    3,
+		Faults: &chaos.Plan{
+			Seed: 7,
+			Flaps: []chaos.LinkFlap{{
+				Link: chaos.RandomTarget, At: 100 * sim.Microsecond,
+				Down: 30 * sim.Microsecond, Every: sim.Millisecond, Count: 8,
+			}},
+		},
+	}
+	a, b := Run(rc), Run(rc)
+	if a.Faults != b.Faults {
+		t.Fatalf("fault counters diverged:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+	if a.Faults.LinkFlaps == 0 {
+		t.Fatal("plan injected no flaps")
+	}
+	if a.EventsRun != b.EventsRun || a.Incomplete != b.Incomplete || a.Elapsed != b.Elapsed {
+		t.Fatalf("run diverged: events %d/%d incomplete %d/%d elapsed %v/%v",
+			a.EventsRun, b.EventsRun, a.Incomplete, b.Incomplete, a.Elapsed, b.Elapsed)
+	}
+	if ap, bp := a.FgP(0.99), b.FgP(0.99); ap != bp {
+		t.Fatalf("fg p99 diverged: %v vs %v", ap, bp)
+	}
+}
+
+// The stall watchdog must name a starved flow and its transport state: we
+// silently eat every data packet one flow ever sends and check the
+// horizon report identifies it.
+func TestStallWatchdogNamesStarvedFlow(t *testing.T) {
+	tr := trafficFor(tinyScale(), 0.4, 0.05)
+	tr.Seed = 1
+	victim := workload.Generate(tr, 1)[0]
+
+	res := Run(RunConfig{
+		Variant: Variant{Transport: "dctcp", TLT: true},
+		Traffic: trafficFor(tinyScale(), 0.4, 0.05),
+		Seed:    1,
+		Horizon: 100 * sim.Millisecond,
+		Prepare: func(s *sim.Sim, net *topo.Network) {
+			net.Hosts[victim.Src].NICTx().DropWhen(func(p *packet.Packet) bool {
+				return p.Flow == victim.ID && p.Type == packet.Data
+			})
+		},
+	})
+	if res.Incomplete == 0 {
+		t.Fatal("starved flow completed?")
+	}
+	found := false
+	for _, fs := range res.Stalls {
+		if fs.Flow == victim.ID {
+			found = true
+			if fs.Done {
+				t.Fatalf("stalled flow reported done: %s", fs)
+			}
+			if fs.Transport != "tcp" || fs.State == "" {
+				t.Fatalf("stall report missing transport state: %s", fs)
+			}
+			if fs.AckedBytes >= fs.TotalBytes {
+				t.Fatalf("starved flow claims full delivery: %s", fs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("stall report does not name flow %d: %v", victim.ID, res.Stalls)
+	}
+	notes := drainNotes()
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "incomplete=") || !strings.Contains(joined, "stall:") {
+		t.Fatalf("harness notes missing stall report:\n%s", joined)
+	}
+}
+
+// A clean run under the strict auditor must observe events and find no
+// violations (the auditor panics on the first one, failing the test).
+func TestAuditCleanRun(t *testing.T) {
+	res := Run(RunConfig{
+		Variant: Variant{Transport: "dctcp", TLT: true},
+		Traffic: trafficFor(tinyScale(), 0.4, 0.05),
+		Seed:    2,
+		Audit:   true,
+	})
+	if res.AuditEvents == 0 {
+		t.Fatal("auditor saw no events")
+	}
+	if res.Faults.AuditViolations != 0 {
+		t.Fatalf("clean run produced %d violations", res.Faults.AuditViolations)
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("%d flows incomplete under audit", res.Incomplete)
 	}
 }
 

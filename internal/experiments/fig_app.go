@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tlt/internal/app"
+	"tlt/internal/audit"
 	"tlt/internal/packet"
 	"tlt/internal/sim"
 	"tlt/internal/stats"
@@ -28,6 +29,12 @@ func testbedStar(v Variant, hosts int) (*sim.Sim, *topo.Network) {
 		LinkDelay:   2 * sim.Microsecond,
 		Switch:      swc,
 	})
+	if _, auditOn := harnessSettings(); auditOn {
+		a := audit.New(s)
+		for _, sw := range n.Switches {
+			a.AttachSwitch(sw)
+		}
+	}
 	return s, n
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"tlt/internal/chaos"
+)
+
+// The harness carries session-wide settings from the CLI (-chaos, -audit)
+// into every run without threading them through each figure's RunConfig
+// literals, plus the note stream the runner and stall watchdog emit
+// (incomplete-flow warnings, stall reports, seed-panic captures) so they
+// surface in whichever report is being built.
+var (
+	harnessMu    sync.Mutex
+	harnessPlan  *chaos.Plan
+	harnessAudit bool
+	pendingNotes []string
+)
+
+// SetHarness installs a fault plan and/or audit mode applied to every
+// subsequent run. Pass (nil, false) to clear.
+func SetHarness(plan *chaos.Plan, audit bool) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	harnessPlan = plan
+	harnessAudit = audit
+}
+
+func harnessSettings() (*chaos.Plan, bool) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	return harnessPlan, harnessAudit
+}
+
+// addNote queues a harness note for the report under construction.
+func addNote(format string, args ...any) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	pendingNotes = append(pendingNotes, fmt.Sprintf(format, args...))
+}
+
+// drainNotes returns and clears the queued notes.
+func drainNotes() []string {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	out := pendingNotes
+	pendingNotes = nil
+	return out
+}
+
+// RunEntry executes a registry entry and folds the harness notes
+// accumulated during the run (stall reports, panic captures, incomplete
+// warnings) into the returned report.
+func RunEntry(e Entry, sc Scale) *Report {
+	drainNotes() // start clean: notes from prior entries belong to them
+	rep := e.Run(sc)
+	rep.Notes = append(rep.Notes, drainNotes()...)
+	return rep
+}

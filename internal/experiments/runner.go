@@ -2,8 +2,13 @@ package experiments
 
 import (
 	"math"
+	"runtime/debug"
 	"sort"
+	"strings"
 
+	"tlt/internal/audit"
+	"tlt/internal/chaos"
+	"tlt/internal/core"
 	"tlt/internal/fabric"
 	"tlt/internal/sim"
 	"tlt/internal/stats"
@@ -28,6 +33,17 @@ type RunConfig struct {
 	CollectDelivery bool
 	CollectRTT      bool
 	SampleQueues    bool
+
+	// Faults, when non-nil, applies a deterministic chaos schedule to
+	// the network (nil falls back to the session harness plan).
+	Faults *chaos.Plan
+	// Audit attaches the strict runtime invariant auditor to every
+	// switch and TLT sender (or'd with the session harness flag).
+	Audit bool
+	// Prepare, when set, runs after the network is built and flows are
+	// registered but before the simulation starts — a hook for tests
+	// that install deterministic drop filters or probes.
+	Prepare func(s *sim.Sim, net *topo.Network)
 }
 
 // Result aggregates everything a figure needs from one run.
@@ -43,6 +59,15 @@ type Result struct {
 	QSamples    []float64 // sampled max-queue time series (bytes)
 	EventsRun   uint64
 	TrafficLast sim.Time // last flow arrival
+
+	// Faults aggregates injected-fault activity and audit findings.
+	Faults stats.FaultCounters
+	// AuditEvents counts events the invariant auditor checked (0 when
+	// auditing is off).
+	AuditEvents int64
+	// Stalls holds the stall-watchdog snapshot of every incomplete
+	// flow's sender at the horizon (empty when all flows finished).
+	Stalls []transport.FlowStatus
 }
 
 // FgP returns the p-quantile of foreground FCTs in seconds.
@@ -107,6 +132,23 @@ func Run(rc RunConfig) *Result {
 		rec.RTOSamplesBG = stats.NewReservoir(100_000, rc.Seed+3)
 	}
 
+	plan, auditOn := rc.Faults, rc.Audit
+	if hp, ha := harnessSettings(); hp != nil || ha {
+		if plan == nil {
+			plan = hp
+		}
+		auditOn = auditOn || ha
+	}
+	var aud *audit.Auditor
+	var coreAudit core.Audit // stays a nil interface unless auditing is on
+	if auditOn {
+		aud = audit.New(s)
+		for _, sw := range net.Switches {
+			aud.AttachSwitch(sw)
+		}
+		coreAudit = aud
+	}
+
 	remaining := len(flows)
 	onDone := func(*stats.FlowRecord) {
 		remaining--
@@ -114,7 +156,15 @@ func Run(rc RunConfig) *Result {
 			s.Stop()
 		}
 	}
-	startFlows(s, net, flows, v, rec, onDone)
+	reporters := startFlows(s, net, flows, v, rec, onDone, coreAudit)
+
+	var eng *chaos.Engine
+	if !plan.Empty() {
+		eng = plan.Apply(s, net, rc.Seed)
+	}
+	if rc.Prepare != nil {
+		rc.Prepare(s, net)
+	}
 
 	var qSamples []float64
 	if rc.SampleQueues {
@@ -168,40 +218,91 @@ func Run(rc RunConfig) *Result {
 			}
 		}
 	}
+	if eng != nil {
+		res.Faults = eng.Counters()
+	}
+	if aud != nil {
+		res.Faults.AuditViolations = aud.Violations
+		res.AuditEvents = aud.Events
+	}
+	if remaining > 0 {
+		res.Stalls = stallReport(reporters)
+		addNote("%s seed %d: incomplete=%d of %d flows at horizon %v",
+			v.Name(), rc.Seed, remaining, len(flows), end)
+		for i, fs := range res.Stalls {
+			if i == 4 {
+				addNote("stall: … %d more stalled flows", len(res.Stalls)-i)
+				break
+			}
+			addNote("stall: %s", fs)
+		}
+	}
 	return res
 }
 
-// startFlows instantiates the right transport for every flow.
+// stallReport is the stall watchdog: it interrogates every sender that
+// had not completed when the horizon expired, so an Incomplete count
+// always comes with per-flow transport state instead of a bare number.
+func stallReport(reporters []transport.StatusReporter) []transport.FlowStatus {
+	var out []transport.FlowStatus
+	for _, r := range reporters {
+		if r == nil {
+			continue
+		}
+		if fs := r.FlowStatus(); !fs.Done {
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+// startFlows instantiates the right transport for every flow and returns
+// the senders' status reporters (index-aligned with flows) for the stall
+// watchdog. tltAudit, when non-nil, hooks every TLT marking machine.
 func startFlows(s *sim.Sim, net *topo.Network, flows []*transport.Flow, v Variant,
-	rec *stats.Recorder, onDone func(*stats.FlowRecord)) {
+	rec *stats.Recorder, onDone func(*stats.FlowRecord), tltAudit core.Audit) []transport.StatusReporter {
+	reporters := make([]transport.StatusReporter, 0, len(flows))
 	switch v.Transport {
 	case "tcp", "dctcp":
 		cfg := v.tcpConfig()
+		cfg.TLT.Audit = tltAudit
 		for _, f := range flows {
-			tcp.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+			c := tcp.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+			reporters = append(reporters, c.Sender)
 		}
 	case "dcqcn", "dcqcn-sack", "dcqcn-irn":
 		cfg := v.dcqcnConfig()
+		cfg.TLT.Audit = tltAudit
 		for _, f := range flows {
-			dcqcn.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+			c := dcqcn.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+			reporters = append(reporters, c.Sender)
 		}
 	case "hpcc":
 		cfg := hpcc.DefaultConfig(net.BaseRTT + 2*sim.Microsecond)
 		cfg.TLT = v.dcqcnConfig().TLT
+		cfg.TLT.Audit = tltAudit
 		for _, f := range flows {
-			hpcc.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+			snd, _ := hpcc.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
+			reporters = append(reporters, snd)
 		}
 	default:
 		panic("experiments: unknown transport " + v.Transport)
 	}
+	return reporters
 }
 
 // seedMetrics runs rc across seeds and returns per-seed metric vectors.
+// A panicking seed (a bad config, an audit violation, a chaos-exposed
+// bug) is captured with enough context to replay it and skipped, so the
+// remaining seeds still produce a partial report.
 func seedMetrics(rc RunConfig, seeds int, metric func(*Result) []float64) [][]float64 {
 	var out [][]float64
 	for seed := 0; seed < seeds; seed++ {
 		rc.Seed = int64(seed + 1)
-		res := Run(rc)
+		res := runSeedRecovered(rc)
+		if res == nil {
+			continue
+		}
 		m := metric(res)
 		for len(out) < len(m) {
 			out = append(out, nil)
@@ -213,6 +314,23 @@ func seedMetrics(rc RunConfig, seeds int, metric func(*Result) []float64) [][]fl
 		}
 	}
 	return out
+}
+
+// runSeedRecovered executes one seed, converting a panic into a harness
+// note that names the seed and variant for deterministic replay.
+func runSeedRecovered(rc RunConfig) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := strings.Split(string(debug.Stack()), "\n")
+			if len(stack) > 16 {
+				stack = stack[:16]
+			}
+			addNote("seed %d (%s) PANICKED — replay with this variant and seed to debug; partial results reported without it\n%v\n%s",
+				rc.Seed, rc.Variant.Name(), r, strings.Join(stack, "\n"))
+			res = nil
+		}
+	}()
+	return Run(rc)
 }
 
 // meanStd formats mean±std of xs as durations.

@@ -1,0 +1,45 @@
+package fabric
+
+import "tlt/internal/packet"
+
+// DropReason classifies why a switch dropped a packet at admission.
+type DropReason uint8
+
+// Drop reasons reported to the audit hook.
+const (
+	DropReasonBufferFull DropReason = iota // physical shared buffer exhausted
+	DropReasonDynamic                      // dynamic shared-buffer threshold
+	DropReasonColor                        // color-aware threshold (red only)
+)
+
+// String returns a short reason name for dump output.
+func (r DropReason) String() string {
+	switch r {
+	case DropReasonBufferFull:
+		return "buffer-full"
+	case DropReasonDynamic:
+		return "dynamic-threshold"
+	case DropReasonColor:
+		return "color-threshold"
+	}
+	return "?"
+}
+
+// AuditHook observes every buffer-state transition of a switch so a
+// runtime invariant auditor (internal/audit) can re-derive the MMU
+// accounting independently and fail fast on divergence. All methods are
+// called synchronously from the data path; implementations must not
+// mutate switch state.
+type AuditHook interface {
+	// OnEnqueue fires after pkt was admitted to (egress, tc).
+	OnEnqueue(sw *Switch, egress, tc int, pkt *packet.Packet)
+	// OnDequeue fires after pkt left (egress, tc) for serialization.
+	OnDequeue(sw *Switch, egress, tc int, pkt *packet.Packet)
+	// OnDrop fires when admission rejected pkt. qBytes is the target
+	// queue depth and free the shared-buffer headroom (against the
+	// effective buffer limit) at decision time.
+	OnDrop(sw *Switch, egress, tc int, pkt *packet.Packet, reason DropReason, qBytes, free int64)
+	// OnPFC fires when the switch emits a PAUSE (pause=true) or RESUME
+	// frame toward the upstream ingress port.
+	OnPFC(sw *Switch, port int, pause bool)
+}

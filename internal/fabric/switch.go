@@ -173,6 +173,13 @@ type Switch struct {
 
 	used int64 // shared buffer occupancy
 
+	// bufLimit is the effective shared-buffer capacity used for
+	// admission. It normally equals cfg.BufferBytes; chaos fault
+	// injection can shrink it for a window (an MMU reconfiguration or
+	// partial memory failure). Already-buffered bytes above a shrunken
+	// limit drain normally; only admission is affected.
+	bufLimit int64
+
 	// routes maps destination host ID to the candidate egress ports
 	// (ECMP group), indexed densely by NodeID. Set by the topology
 	// builder; host IDs are small non-negative integers.
@@ -180,6 +187,10 @@ type Switch struct {
 
 	// Ctr collects statistics.
 	Ctr Counters
+
+	// Audit, when non-nil, observes every enqueue/dequeue/drop and PFC
+	// frame for runtime invariant checking. Nil in normal runs.
+	Audit AuditHook
 }
 
 // NewSwitch builds a switch with cfg.Ports ports.
@@ -187,7 +198,7 @@ func NewSwitch(s *sim.Sim, id packet.NodeID, rng *sim.RNG, cfg SwitchConfig) *Sw
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 1
 	}
-	sw := &Switch{id: id, sim: s, rng: rng, cfg: cfg}
+	sw := &Switch{id: id, sim: s, rng: rng, cfg: cfg, bufLimit: cfg.BufferBytes}
 	sw.ports = make([]*swPort, cfg.Ports)
 	for i := range sw.ports {
 		sw.ports[i] = &swPort{qs: make([]swQueue, cfg.classes())}
@@ -203,6 +214,24 @@ func (sw *Switch) Config() SwitchConfig { return sw.cfg }
 
 // BufferUsed returns current shared-buffer occupancy in bytes.
 func (sw *Switch) BufferUsed() int64 { return sw.used }
+
+// BufferLimit returns the effective admission capacity in bytes.
+func (sw *Switch) BufferLimit() int64 { return sw.bufLimit }
+
+// SetBufferLimit shrinks (or restores) the effective shared-buffer
+// capacity used for admission. n <= 0 restores the configured capacity.
+// The limit may not exceed the physical buffer.
+func (sw *Switch) SetBufferLimit(n int64) {
+	if n <= 0 || n > sw.cfg.BufferBytes {
+		n = sw.cfg.BufferBytes
+	}
+	sw.bufLimit = n
+}
+
+// SkewUsedForTest corrupts the MMU occupancy counter by delta bytes.
+// Test-only: it exists so internal/audit can prove the runtime auditor
+// detects accounting bugs; never call it from model code.
+func (sw *Switch) SkewUsedForTest(delta int64) { sw.used += delta }
 
 // QueueBytes returns the instantaneous depth of an egress port across
 // all its class queues.
@@ -315,23 +344,32 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 	}
 	q := &p.qs[tc]
 	size := int64(pkt.WireSize())
-	free := sw.cfg.BufferBytes - sw.used
+	free := sw.bufLimit - sw.used
 	green := pkt.Mark.Color() == packet.Green
 
 	// Admission control.
 	switch {
 	case free < size:
 		sw.drop(pkt, &sw.Ctr.DropBufferFull)
+		if sw.Audit != nil {
+			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonBufferFull, q.bytes, free)
+		}
 		return
 	case tc == 0 && sw.cfg.ColorThreshold > 0 && !green && q.bytes >= sw.cfg.ColorThreshold:
 		// Color-aware dropping: the red class may not grow the queue
 		// past K. Green packets pass and use the headroom.
 		sw.Ctr.DropRedColor++
+		if sw.Audit != nil {
+			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonColor, q.bytes, free)
+		}
 		return
 	case !sw.cfg.PFC && float64(q.bytes)+float64(size) > sw.cfg.Alpha*float64(free):
 		// Dynamic shared-buffer threshold (lossy operation only; the
 		// lossless class relies on PFC instead of dropping).
 		sw.drop(pkt, &sw.Ctr.DropDynamic)
+		if sw.Audit != nil {
+			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonDynamic, q.bytes, free)
+		}
 		return
 	}
 
@@ -370,6 +408,9 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 	pkt.EnqIngress = inPort
 	sw.used += size
 	q.push(pkt)
+	if sw.Audit != nil {
+		sw.Audit.OnEnqueue(sw, egress, tc, pkt)
+	}
 
 	// PFC ingress accounting: pause the upstream transmitter when this
 	// ingress port's buffered bytes exceed XOFF.
@@ -379,6 +420,9 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 		if !in.sentXOff && in.ingressBytes > sw.cfg.XOff {
 			in.sentXOff = true
 			sw.Ctr.PauseFrames++
+			if sw.Audit != nil {
+				sw.Audit.OnPFC(sw, inPort, true)
+			}
 			in.tx.DeliverControl(&packet.Packet{Type: packet.Pause, Src: sw.id})
 		}
 	}
@@ -397,10 +441,13 @@ func (sw *Switch) drop(pkt *packet.Packet, ctr *int64) {
 func (sw *Switch) dequeue(port int) *packet.Packet {
 	p := sw.ports[port]
 	var pkt *packet.Packet
+	tc := 0
 	for i := 0; i < len(p.qs); i++ {
-		q := &p.qs[p.rr]
+		cls := p.rr
+		q := &p.qs[cls]
 		p.rr = (p.rr + 1) % len(p.qs)
 		if pkt = q.popFront(); pkt != nil {
+			tc = cls
 			break
 		}
 	}
@@ -409,6 +456,9 @@ func (sw *Switch) dequeue(port int) *packet.Packet {
 	}
 	size := int64(pkt.WireSize())
 	sw.used -= size
+	if sw.Audit != nil {
+		sw.Audit.OnDequeue(sw, port, tc, pkt)
+	}
 
 	if sw.cfg.PFC {
 		in := sw.ports[pkt.EnqIngress]
@@ -416,6 +466,9 @@ func (sw *Switch) dequeue(port int) *packet.Packet {
 		if in.sentXOff && in.ingressBytes <= sw.cfg.XOn {
 			in.sentXOff = false
 			sw.Ctr.ResumeFrames++
+			if sw.Audit != nil {
+				sw.Audit.OnPFC(sw, pkt.EnqIngress, false)
+			}
 			in.tx.DeliverControl(&packet.Packet{Type: packet.Resume, Src: sw.id})
 		}
 	}

@@ -26,6 +26,36 @@ func SerTime(size int, rateBps int64) sim.Time {
 	return sim.Time((bits*int64(sim.Second) + rateBps - 1) / rateBps)
 }
 
+// geLoss is a two-state Gilbert–Elliott Markov loss process: the channel
+// alternates between a good and a bad state with per-packet transition
+// probabilities, and drops packets with a state-dependent probability.
+// It generalizes uniform InjectLoss to the bursty losses of marginal
+// optics and dirty connectors.
+type geLoss struct {
+	bad      bool
+	pGoodBad float64 // P(good→bad) evaluated per packet
+	pBadGood float64 // P(bad→good) evaluated per packet
+	lossGood float64 // drop probability in the good state (usually 0)
+	lossBad  float64 // drop probability in the bad state
+	rng      *sim.RNG
+}
+
+// drop advances the channel state for one packet and reports loss.
+func (g *geLoss) drop() bool {
+	if g.bad {
+		if g.rng.Float64() < g.pBadGood {
+			g.bad = false
+		}
+	} else if g.rng.Float64() < g.pGoodBad {
+		g.bad = true
+	}
+	p := g.lossGood
+	if g.bad {
+		p = g.lossBad
+	}
+	return p > 0 && g.rng.Float64() < p
+}
+
 // Wire is a unidirectional propagation-delay element between two ports.
 type Wire struct {
 	sim    *sim.Sim
@@ -35,28 +65,54 @@ type Wire struct {
 
 	deliverFn func(any) // stored once to avoid per-packet closures
 
+	// down marks the physical link as dead: everything handed to the
+	// wire — and everything still propagating when the link went down,
+	// checked at its arrival instant — is lost.
+	down bool
+
 	// Random non-congestion loss injection (cabling faults, silent
 	// corruption): every packet is dropped with probability lossRate.
 	lossRate float64
 	lossRng  *sim.RNG
+	// ge, when set, applies bursty Gilbert–Elliott loss.
+	ge *geLoss
 	// dropFilter, when set, drops every packet it returns true for
 	// (deterministic fault injection for scenario tests).
 	dropFilter func(*packet.Packet) bool
-	// Dropped counts injected losses.
+	// Dropped counts injected losses (uniform + filter).
 	Dropped int64
+	// DownDropped counts packets lost to a dead link.
+	DownDropped int64
+	// GEDropped counts Gilbert–Elliott losses.
+	GEDropped int64
 }
 
 func newWire(s *sim.Sim, delay sim.Time, to Device, toPort int) *Wire {
 	w := &Wire{sim: s, delay: delay, to: to, toPort: toPort}
-	w.deliverFn = func(a any) { w.to.Receive(a.(*packet.Packet), w.toPort) }
+	w.deliverFn = func(a any) {
+		if w.down {
+			// The link died while this packet was in flight.
+			w.DownDropped++
+			return
+		}
+		w.to.Receive(a.(*packet.Packet), w.toPort)
+	}
 	return w
 }
 
 // Deliver schedules arrival of a fully-serialized packet after the
 // propagation delay (store-and-forward at the next hop).
 func (w *Wire) Deliver(pkt *packet.Packet) {
+	if w.down {
+		w.DownDropped++
+		return
+	}
 	if w.lossRate > 0 && w.lossRng.Float64() < w.lossRate {
 		w.Dropped++
+		return
+	}
+	if w.ge != nil && w.ge.drop() {
+		w.GEDropped++
 		return
 	}
 	if w.dropFilter != nil && w.dropFilter(pkt) {
@@ -75,6 +131,8 @@ type Tx struct {
 
 	busy   bool
 	paused bool
+	down   bool // link administratively/physically dead (fault injection)
+	frozen bool // transmitter stalled with the wire intact (NIC freeze)
 
 	pausedSince sim.Time
 	// PausedTotal accumulates wall-clock time this transmitter spent in
@@ -94,9 +152,12 @@ type Tx struct {
 	serDoneFn func()         // stored completion callback
 }
 
-// Kick starts transmission if the link is idle and not paused.
+// blocked reports whether the transmitter may not start a new frame.
+func (tx *Tx) blocked() bool { return tx.paused || tx.down || tx.frozen }
+
+// Kick starts transmission if the link is idle, up, and not paused.
 func (tx *Tx) Kick() {
-	if !tx.busy && !tx.paused {
+	if !tx.busy && !tx.blocked() {
 		tx.startNext()
 	}
 }
@@ -121,7 +182,7 @@ func (tx *Tx) serDone() {
 	pkt := tx.cur
 	tx.cur = nil
 	tx.wire.Deliver(pkt)
-	if !tx.paused {
+	if !tx.blocked() {
 		tx.startNext()
 	}
 }
@@ -143,7 +204,7 @@ func (tx *Tx) Resume() {
 	}
 	tx.paused = false
 	tx.PausedTotal += tx.sim.Now() - tx.pausedSince
-	if !tx.busy {
+	if !tx.busy && !tx.blocked() {
 		tx.startNext()
 	}
 }
@@ -154,13 +215,87 @@ func (tx *Tx) Paused() bool { return tx.paused }
 // InjectLoss makes this direction of the link drop packets with the
 // given probability, modeling non-congestion losses (faulty optics,
 // silent corruption) that TLT explicitly does not protect against (§5).
+// A nil rng falls back to a fixed-seed source so the run stays
+// deterministic instead of panicking on the first delivery.
 func (tx *Tx) InjectLoss(rate float64, rng *sim.RNG) {
+	if rng == nil && rate > 0 {
+		rng = sim.NewRNG(0x10c5)
+	}
 	tx.wire.lossRate = rate
 	tx.wire.lossRng = rng
 }
 
-// InjectedDrops returns the number of randomly dropped packets.
+// InjectGilbertElliott puts a two-state bursty loss channel on this
+// direction of the link: per-packet transitions good→bad with pGoodBad
+// and bad→good with pBadGood, dropping with probability lossGood /
+// lossBad in the respective state. A nil rng falls back to a fixed-seed
+// source. Passing lossBad <= 0 removes the channel.
+func (tx *Tx) InjectGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64, rng *sim.RNG) {
+	if lossBad <= 0 && lossGood <= 0 {
+		tx.wire.ge = nil
+		return
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0x6e11)
+	}
+	tx.wire.ge = &geLoss{
+		pGoodBad: pGoodBad, pBadGood: pBadGood,
+		lossGood: lossGood, lossBad: lossBad,
+		rng: rng,
+	}
+}
+
+// SetLinkDown kills this direction of the link: serialization stops
+// after the current frame and every packet in flight on the wire is lost
+// at its would-be arrival instant.
+func (tx *Tx) SetLinkDown() {
+	tx.down = true
+	tx.wire.down = true
+}
+
+// SetLinkUp revives a downed link and restarts transmission.
+func (tx *Tx) SetLinkUp() {
+	if !tx.down {
+		return
+	}
+	tx.down = false
+	tx.wire.down = false
+	if !tx.busy && !tx.blocked() {
+		tx.startNext()
+	}
+}
+
+// Freeze stalls the transmitter while leaving the wire intact: packets
+// already propagating still arrive (a host NIC stall — PCIe hiccup,
+// firmware wedge — rather than a dead cable).
+func (tx *Tx) Freeze() { tx.frozen = true }
+
+// Unfreeze releases a frozen transmitter and restarts transmission.
+func (tx *Tx) Unfreeze() {
+	if !tx.frozen {
+		return
+	}
+	tx.frozen = false
+	if !tx.busy && !tx.blocked() {
+		tx.startNext()
+	}
+}
+
+// Frozen reports the freeze state.
+func (tx *Tx) Frozen() bool { return tx.frozen }
+
+// LinkDown reports whether the link is currently dead.
+func (tx *Tx) LinkDown() bool { return tx.down }
+
+// InjectedDrops returns the number of randomly dropped packets
+// (uniform loss and drop filters).
 func (tx *Tx) InjectedDrops() int64 { return tx.wire.Dropped }
+
+// DownDrops returns packets lost because the link was down.
+func (tx *Tx) DownDrops() int64 { return tx.wire.DownDropped }
+
+// BurstyDrops returns packets lost to the Gilbert–Elliott channel.
+func (tx *Tx) BurstyDrops() int64 { return tx.wire.GEDropped }
 
 // DropWhen installs a deterministic drop predicate on this direction of
 // the link (nil clears it). Packets for which fn returns true vanish, as

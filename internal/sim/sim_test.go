@@ -127,6 +127,92 @@ func TestTimerStop(t *testing.T) {
 	}
 }
 
+func TestTimerPendingAcrossRunBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.At(100, func() { fired = true })
+	s.Run(50)
+	if fired {
+		t.Fatal("timer fired before its time")
+	}
+	if !tm.Pending() {
+		t.Fatal("timer past the horizon must stay pending")
+	}
+	s.Run(200)
+	if !fired {
+		t.Fatal("timer did not fire in the later run")
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+func TestStopSameInstantEvent(t *testing.T) {
+	// An event may cancel a timer scheduled for the very same instant;
+	// the dead flag must be honoured even though the event is already in
+	// the heap behind the canceller.
+	s := New()
+	fired := false
+	var tm *Timer
+	s.At(10, func() { tm.Stop() })
+	tm = s.At(10, func() { fired = true })
+	s.RunAll()
+	if fired {
+		t.Fatal("same-instant cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Fatal("cancelled timer still pending")
+	}
+}
+
+func TestHeapPopOrderProperty(t *testing.T) {
+	// Property: random bursts of same-timestamp events pop in (time,
+	// insertion) order — the 4-ary heap must preserve FIFO inside every
+	// burst, not just global time order.
+	type burst struct {
+		At    uint16
+		Count uint8
+	}
+	f := func(bursts []burst) bool {
+		s := New()
+		type key struct {
+			at  Time
+			ord int
+		}
+		var fired []key
+		ord := 0
+		for _, b := range bursts {
+			at := Time(b.At)
+			n := int(b.Count%8) + 1
+			for i := 0; i < n; i++ {
+				k := key{at, ord}
+				ord++
+				s.At(at, func() { fired = append(fired, k) })
+			}
+		}
+		s.RunAll()
+		if len(fired) != ord {
+			return false
+		}
+		want := append([]key(nil), fired...)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].ord < want[j].ord
+		})
+		for i := range fired {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunHorizon(t *testing.T) {
 	s := New()
 	var fired []Time

@@ -1,0 +1,39 @@
+package stats
+
+// FaultCounters aggregates injected-fault activity and auditor findings
+// for one run, so chaos experiments can report how much abuse the fabric
+// absorbed alongside the usual FCT metrics.
+type FaultCounters struct {
+	LinkFlaps     int // link down events executed
+	NICFreezes    int // host NIC freeze events executed
+	BufferShrinks int // MMU capacity-shrink windows executed
+
+	DownDrops   int64 // packets lost on a dead link
+	BurstyDrops int64 // packets lost to Gilbert–Elliott channels
+	RandomDrops int64 // packets lost to uniform loss / drop filters
+
+	// AuditViolations counts invariant violations observed by a
+	// non-strict auditor (a strict auditor panics on the first).
+	AuditViolations int64
+}
+
+// Add accumulates other into c.
+func (c *FaultCounters) Add(o *FaultCounters) {
+	c.LinkFlaps += o.LinkFlaps
+	c.NICFreezes += o.NICFreezes
+	c.BufferShrinks += o.BufferShrinks
+	c.DownDrops += o.DownDrops
+	c.BurstyDrops += o.BurstyDrops
+	c.RandomDrops += o.RandomDrops
+	c.AuditViolations += o.AuditViolations
+}
+
+// TotalInjected returns all packet losses caused by fault injection.
+func (c *FaultCounters) TotalInjected() int64 {
+	return c.DownDrops + c.BurstyDrops + c.RandomDrops
+}
+
+// Any reports whether any fault activity was recorded.
+func (c *FaultCounters) Any() bool {
+	return c.LinkFlaps > 0 || c.NICFreezes > 0 || c.BufferShrinks > 0 || c.TotalInjected() > 0
+}

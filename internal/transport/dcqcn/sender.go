@@ -1,6 +1,8 @@
 package dcqcn
 
 import (
+	"fmt"
+
 	"tlt/internal/core"
 	"tlt/internal/fabric"
 	"tlt/internal/packet"
@@ -59,6 +61,7 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 		n = 1
 	}
 	lastLen := int(flow.Size - (n-1)*int64(cfg.MSS))
+	cfg.TLT.Flow = flow.ID
 	snd := &Sender{
 		s: s, host: host, flow: flow, cfg: cfg,
 		rec: rec, recorder: recorder, onDone: onDone,
@@ -81,6 +84,44 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 func (s *Sender) Start() {
 	s.schedule()
 	s.armRTO()
+}
+
+// FlowStatus implements transport.StatusReporter for stall reports.
+func (s *Sender) FlowStatus() transport.FlowStatus {
+	state := "open"
+	switch {
+	case s.done:
+		state = "done"
+	case s.board.HasLoss():
+		state = "loss-recovery"
+	case s.roundStart:
+		state = "retx-round"
+	}
+	mss := int64(s.cfg.MSS)
+	fs := transport.FlowStatus{
+		Flow:              s.flow.ID,
+		Transport:         "dcqcn",
+		State:             fmt.Sprintf("%s(rate=%.1fGbps)", state, s.rate/1e9),
+		Done:              s.done,
+		AckedBytes:        min64(s.board.Una*mss, s.flow.Size),
+		TotalBytes:        s.flow.Size,
+		OutstandingBytes:  s.board.InFlight() * mss,
+		LostBytes:         s.board.PendingRetx() * mss,
+		ImportantInFlight: s.tltWin != nil && s.tltWin.InFlight(),
+		RTOArmed:          s.rtoDeadline > 0,
+		RTODeadline:       s.rtoDeadline,
+	}
+	if s.sendTimer != nil && s.sendTimer.Pending() {
+		fs.Timers = append(fs.Timers, "pacing-pending")
+	}
+	return fs
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Done reports sender-side completion.

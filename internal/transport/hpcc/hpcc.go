@@ -5,6 +5,8 @@
 package hpcc
 
 import (
+	"fmt"
+
 	"tlt/internal/core"
 	"tlt/internal/fabric"
 	"tlt/internal/packet"
@@ -75,6 +77,7 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 		n = 1
 	}
 	winit := float64(cfg.LineRateBps/8) * cfg.BaseRTT.Seconds()
+	cfg.TLT.Flow = flow.ID
 	return &Sender{
 		s: s, host: host, flow: flow, cfg: cfg,
 		rec: rec, onDone: onDone,
@@ -93,6 +96,35 @@ func (s *Sender) Start() {
 
 // Done reports sender completion.
 func (s *Sender) Done() bool { return s.done }
+
+// FlowStatus implements transport.StatusReporter for stall reports.
+func (s *Sender) FlowStatus() transport.FlowStatus {
+	state := "open"
+	switch {
+	case s.done:
+		state = "done"
+	case s.board.HasLoss():
+		state = "loss-recovery"
+	}
+	mss := int64(s.cfg.MSS)
+	acked := s.board.Una * mss
+	if acked > s.flow.Size {
+		acked = s.flow.Size
+	}
+	return transport.FlowStatus{
+		Flow:              s.flow.ID,
+		Transport:         "hpcc",
+		State:             fmt.Sprintf("%s(w=%.0fB)", state, s.w),
+		Done:              s.done,
+		AckedBytes:        acked,
+		TotalBytes:        s.flow.Size,
+		OutstandingBytes:  s.board.InFlight() * mss,
+		LostBytes:         s.board.PendingRetx() * mss,
+		ImportantInFlight: s.tlt.InFlight(),
+		RTOArmed:          s.rtoDeadline > 0,
+		RTODeadline:       s.rtoDeadline,
+	}
+}
 
 // Window returns the current window in bytes (for tests).
 func (s *Sender) Window() float64 { return s.w }

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// FlowStatus is a point-in-time snapshot of one sender's recovery state,
+// rendered in stall reports when an experiment's horizon expires with
+// incomplete flows. Every field is diagnostic; none feed back into the
+// protocol.
+type FlowStatus struct {
+	Flow      packet.FlowID
+	Transport string // "tcp", "dcqcn", "hpcc"
+	State     string // transport-specific state summary
+
+	Done             bool
+	AckedBytes       int64
+	TotalBytes       int64
+	OutstandingBytes int64 // sent and unacknowledged
+	LostBytes        int64 // marked lost, awaiting retransmission
+
+	// ImportantInFlight reports whether a TLT important packet is
+	// outstanding — a stalled flow with one in flight is waiting on an
+	// echo that will never come (the degradation mode chaos induces).
+	ImportantInFlight bool
+
+	RTOArmed    bool
+	RTODeadline sim.Time
+	Timers      []string // pending timer descriptions beyond the RTO
+}
+
+// StatusReporter is implemented by transport senders so the experiment
+// runner's stall watchdog can interrogate incomplete flows.
+type StatusReporter interface {
+	FlowStatus() FlowStatus
+}
+
+// String renders the snapshot as one report line.
+func (fs FlowStatus) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %d [%s] state=%s acked=%d/%d outstanding=%d lost=%d",
+		fs.Flow, fs.Transport, fs.State,
+		fs.AckedBytes, fs.TotalBytes, fs.OutstandingBytes, fs.LostBytes)
+	if fs.ImportantInFlight {
+		b.WriteString(" important-in-flight")
+	}
+	if fs.RTOArmed {
+		fmt.Fprintf(&b, " rto@%v", fs.RTODeadline)
+	} else {
+		b.WriteString(" rto=disarmed")
+	}
+	for _, t := range fs.Timers {
+		b.WriteString(" ")
+		b.WriteString(t)
+	}
+	return b.String()
+}

@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"fmt"
+
 	"tlt/internal/core"
 	"tlt/internal/fabric"
 	"tlt/internal/packet"
@@ -81,6 +83,7 @@ type Sender struct {
 // with the host nor start transmitting; see NewConnection.
 func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 	rec *stats.FlowRecord, recorder *stats.Recorder, onDone func()) *Sender {
+	cfg.TLT.Flow = flow.ID
 	snd := &Sender{
 		s: s, host: host, flow: flow, cfg: cfg,
 		rec: rec, recorder: recorder, onDone: onDone,
@@ -120,6 +123,41 @@ func (s *Sender) SndUna() int64 { return s.sndUna }
 // TLTInFlightImportant reports whether an important packet is outstanding
 // (for invariant tests).
 func (s *Sender) TLTInFlightImportant() bool { return s.tlt.InFlight() }
+
+// FlowStatus implements transport.StatusReporter for stall reports.
+func (s *Sender) FlowStatus() transport.FlowStatus {
+	state := "open"
+	switch {
+	case s.done:
+		state = "done"
+	case s.inRecovery:
+		state = "recovery"
+	case s.backoff > 0:
+		state = "rto-backoff"
+	case s.cwnd < s.ssthresh:
+		state = "slow-start"
+	}
+	if s.backoff > 0 && !s.done {
+		state += fmt.Sprintf("(backoff=%d)", s.backoff)
+	}
+	fs := transport.FlowStatus{
+		Flow:              s.flow.ID,
+		Transport:         "tcp",
+		State:             state,
+		Done:              s.done,
+		AckedBytes:        s.sndUna,
+		TotalBytes:        s.appLimit,
+		OutstandingBytes:  s.sndNxt - s.sndUna,
+		LostBytes:         s.lostB,
+		ImportantInFlight: s.tlt.InFlight(),
+		RTOArmed:          s.rtoDeadline > 0,
+		RTODeadline:       s.rtoDeadline,
+	}
+	if s.tlpDeadline > 0 {
+		fs.Timers = append(fs.Timers, fmt.Sprintf("tlp@%v", s.tlpDeadline))
+	}
+	return fs
+}
 
 // Start begins transmission (call at flow start time).
 func (s *Sender) Start() {
