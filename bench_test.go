@@ -18,14 +18,26 @@ func benchFigure(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	b.ReportAllocs()
+	var cells int
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		rep := e.Run(experiments.BenchScale())
+		rep := experiments.RunEntry(e, experiments.BenchScale())
 		if len(rep.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}
+		c, ev := rep.GridStats()
+		cells += c
+		events += ev
 		if i == 0 {
 			b.Log("\n" + rep.String())
 		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+	if cells > 0 {
+		b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
 	}
 }
 
@@ -50,3 +62,4 @@ func BenchmarkTable1(b *testing.B)        { benchFigure(b, "table1") }
 func BenchmarkDumbbell(b *testing.B)      { benchFigure(b, "dumbbell") }
 func BenchmarkAblationN(b *testing.B)     { benchFigure(b, "ablation-n") }
 func BenchmarkAblationAlpha(b *testing.B) { benchFigure(b, "ablation-alpha") }
+func BenchmarkChaosRecovery(b *testing.B) { benchFigure(b, "chaos-recovery") }

@@ -6,6 +6,8 @@
 //	tltsim -exp fig5                 # quick scale (default)
 //	tltsim -exp fig5 -bg 2000 -seeds 3
 //	tltsim -exp all -full            # paper scale (slow)
+//	tltsim -exp fig5 -procs 8        # cap simulation workers
+//	tltsim -exp all -bench-out BENCH_local.json
 //	tltsim -exp fig5 -audit          # run with the invariant auditor on
 //	tltsim -exp fig9 -chaos 'flap:link=rand,at=200us,down=50us,every=2ms'
 package main
@@ -14,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"tlt/internal/chaos"
@@ -29,6 +33,8 @@ func main() {
 		seeds     = flag.Int("seeds", 0, "override seed count")
 		points    = flag.Int("points", 0, "trim sweep axes to the first N points")
 		format    = flag.String("format", "table", "output format: table, csv, json")
+		procs     = flag.Int("procs", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		benchOut  = flag.String("bench-out", "", "write per-experiment bench records (wall clock, events/sec, allocs) to this JSON file")
 		chaosSpec = flag.String("chaos", "", "fault schedule, e.g. 'flap:link=rand,at=200us,down=50us,every=2ms;seed=7'")
 		auditFlag = flag.Bool("audit", false, "attach the runtime invariant auditor (panics on first violation)")
 	)
@@ -44,6 +50,7 @@ func main() {
 		}
 	}
 	experiments.SetHarness(plan, *auditFlag)
+	experiments.SetProcs(*procs)
 
 	if *list {
 		for _, e := range experiments.All {
@@ -70,35 +77,76 @@ func main() {
 		scale.AppPoints = *points
 	}
 
-	run := func(e experiments.Entry) {
+	var benchRecs []experiments.BenchRecord
+
+	// render runs one experiment and returns its formatted output; when
+	// -bench-out is set it also measures and appends a bench record.
+	render := func(e experiments.Entry) string {
+		var rep *experiments.Report
 		start := time.Now()
-		rep := experiments.RunEntry(e, scale)
+		if *benchOut != "" {
+			var rec experiments.BenchRecord
+			rec, rep = experiments.MeasureEntry(e, scale)
+			benchRecs = append(benchRecs, rec)
+		} else {
+			rep = experiments.RunEntry(e, scale)
+		}
+		var b strings.Builder
 		switch *format {
 		case "csv":
-			fmt.Print(rep.CSV())
+			b.WriteString(rep.CSV())
 		case "json":
 			out, err := rep.JSON()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "json:", err)
 				os.Exit(1)
 			}
-			fmt.Println(out)
+			b.WriteString(out)
+			b.WriteByte('\n')
 		default:
-			fmt.Println(rep.String())
-			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+			b.WriteString(rep.String())
+			fmt.Fprintf(&b, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
+		return b.String()
 	}
 
 	if *exp == "all" {
-		for _, e := range experiments.All {
-			run(e)
+		if *benchOut != "" {
+			// Sequential so each entry's allocation delta is attributable.
+			for _, e := range experiments.All {
+				fmt.Print(render(e))
+			}
+		} else {
+			// Run every entry concurrently: all their grids feed cells
+			// into the shared worker pool, so small figures interleave
+			// with large ones instead of queueing behind them. Output is
+			// still printed in registry order.
+			outs := make([]chan string, len(experiments.All))
+			for i, e := range experiments.All {
+				outs[i] = make(chan string, 1)
+				go func(e experiments.Entry, ch chan<- string) {
+					ch <- render(e)
+				}(e, outs[i])
+			}
+			for _, ch := range outs {
+				fmt.Print(<-ch)
+			}
 		}
-		return
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(render(e))
 	}
-	e, ok := experiments.ByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-		os.Exit(2)
+
+	if *benchOut != "" {
+		note := fmt.Sprintf("scale: bg=%d seeds=%d points=%d; procs=%d", scale.BgFlows, scale.Seeds, scale.AppPoints, *procs)
+		if err := experiments.WriteBenchFile(*benchOut, note, benchRecs); err != nil {
+			fmt.Fprintln(os.Stderr, "-bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bench records to %s\n", len(benchRecs), *benchOut)
 	}
-	run(e)
 }

@@ -20,18 +20,22 @@ func AblationPeriodN(scale Scale) *Report {
 	if scale.AppPoints > 0 && scale.AppPoints < len(ns) {
 		ns = ns[:scale.AppPoints]
 	}
+	sw := newSweep(rep)
 	for _, n := range ns {
 		v := Variant{Transport: "dcqcn-sack", TLT: true, PeriodN: n}
-		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
-			func(r *Result) []float64 {
-				return []float64{r.FgP(0.999), r.FgP(0.99), r.BgMean(),
-					r.Rec.ImportantFraction(), r.TimeoutsPer1k()}
+		sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+			func(rs []*Result) {
+				ms := metricsOf(rs, func(r *Result) []float64 {
+					return []float64{r.FgP(0.999), r.FgP(0.99), r.BgMean(),
+						r.Rec.ImportantFraction(), r.TimeoutsPer1k()}
+				})
+				rep.AddRow(fmt.Sprintf("%d", n),
+					meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)), meanStdDur(col(ms, 2)),
+					fmt.Sprintf("%.2f%%", stats.Mean(col(ms, 3))*100),
+					fmt.Sprintf("%.1f", stats.Mean(col(ms, 4))))
 			})
-		rep.AddRow(fmt.Sprintf("%d", n),
-			meanStdDur(ms[0]), meanStdDur(ms[1]), meanStdDur(ms[2]),
-			fmt.Sprintf("%.2f%%", stats.Mean(ms[3])*100),
-			fmt.Sprintf("%.1f", stats.Mean(ms[4])))
 	}
+	sw.exec()
 	rep.Note("paper §5.2 footnote: tail FCT differs <3%% between N=96 and N=384")
 	return rep
 }
@@ -52,39 +56,25 @@ func AblationAlpha(scale Scale) *Report {
 	if scale.AppPoints > 0 && scale.AppPoints < len(alphas) {
 		alphas = alphas[:scale.AppPoints]
 	}
+	sw := newSweep(rep)
 	for _, a := range alphas {
 		v := Variant{Transport: "dctcp", TLT: true}
-		rc := RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}
-		var maxQ float64
-		ms := seedMetricsAlpha(rc, a, scale.Seeds, func(r *Result) []float64 {
-			if q := float64(r.MaxQ); q > maxQ {
-				maxQ = q
-			}
-			return []float64{r.FgP(0.999), r.BgMean(), r.ImpLossRate()}
+		rc := RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), AlphaOverride: a}
+		sw.add(rc, scale.Seeds, func(rs []*Result) {
+			var maxQ float64
+			ms := metricsOf(rs, func(r *Result) []float64 {
+				if q := float64(r.MaxQ); q > maxQ {
+					maxQ = q
+				}
+				return []float64{r.FgP(0.999), r.BgMean(), r.ImpLossRate()}
+			})
+			rep.AddRow(fmt.Sprintf("%.2f", a),
+				meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)),
+				fmt.Sprintf("%.2e", stats.Mean(col(ms, 2))),
+				fmt.Sprintf("%.0fkB", maxQ/1000))
 		})
-		rep.AddRow(fmt.Sprintf("%.2f", a),
-			meanStdDur(ms[0]), meanStdDur(ms[1]),
-			fmt.Sprintf("%.2e", stats.Mean(ms[2])),
-			fmt.Sprintf("%.0fkB", maxQ/1000))
 	}
+	sw.exec()
 	rep.Note("paper §4.2: alpha=1 balances buffer utilization against per-port fairness")
 	return rep
-}
-
-// seedMetricsAlpha is seedMetrics with a dynamic-threshold override.
-func seedMetricsAlpha(rc RunConfig, alpha float64, seeds int, metric func(*Result) []float64) [][]float64 {
-	var out [][]float64
-	for seed := 0; seed < seeds; seed++ {
-		rc.Seed = int64(seed + 1)
-		rc.AlphaOverride = alpha
-		res := Run(rc)
-		m := metric(res)
-		for len(out) < len(m) {
-			out = append(out, nil)
-		}
-		for i, x := range m {
-			out[i] = append(out[i], x)
-		}
-	}
-	return out
 }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchRecord is one bench-pipeline measurement: an experiment run at a
+// known scale and worker limit, with wall-clock, event throughput, and
+// allocation attribution per grid cell.
+type BenchRecord struct {
+	Experiment     string  `json:"experiment"`
+	Procs          int     `json:"procs"`
+	Cells          int     `json:"cells"`
+	Rows           int     `json:"rows"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerCell  float64 `json:"allocs_per_cell"`
+	AllocMBPerCell float64 `json:"alloc_mb_per_cell"`
+}
+
+// BenchFile is the on-disk artifact format (BENCH_<tag>.json): the host
+// fingerprint needed to interpret the numbers plus one record per run.
+type BenchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Note       string        `json:"note,omitempty"`
+	Records    []BenchRecord `json:"records"`
+}
+
+// MeasureEntry runs one experiment at the given scale under the current
+// worker limit and returns its bench record alongside the report.
+// Allocation figures are process-wide runtime.MemStats deltas divided by
+// the grid cell count — approximate, so measure entries one at a time
+// (cmd/tltsim runs entries sequentially whenever -bench-out is set).
+func MeasureEntry(e Entry, scale Scale) (BenchRecord, *Report) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep := RunEntry(e, scale)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	cells, events := rep.GridStats()
+	rec := BenchRecord{
+		Experiment:  e.ID,
+		Procs:       Procs(),
+		Cells:       cells,
+		Rows:        len(rep.Rows),
+		WallSeconds: wall,
+		Events:      events,
+	}
+	if wall > 0 {
+		rec.EventsPerSec = float64(events) / wall
+	}
+	if cells > 0 {
+		rec.AllocsPerCell = float64(after.Mallocs-before.Mallocs) / float64(cells)
+		rec.AllocMBPerCell = float64(after.TotalAlloc-before.TotalAlloc) / float64(cells) / 1e6
+	}
+	return rec, rep
+}
+
+// WriteBenchFile writes records plus the host fingerprint as indented
+// JSON to path.
+func WriteBenchFile(path, note string, recs []BenchRecord) error {
+	f := BenchFile{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       note,
+		Records:    recs,
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

@@ -20,6 +20,7 @@ func ChaosRecovery(scale Scale) *Report {
 		Title:  "FCT degradation under link flaps (DCTCP vs DCTCP+TLT, 50us down)",
 		Header: []string{"flap every", "variant", "fg p99 FCT", "bg avg FCT", "timeouts/1k", "flaps", "down-drops", "incomplete"},
 	}
+	sw := newSweep(rep)
 	periods := []sim.Time{0, 10 * sim.Millisecond, 2 * sim.Millisecond, 500 * sim.Microsecond}
 	variants := []Variant{
 		{Transport: "dctcp"},
@@ -44,23 +45,28 @@ func ChaosRecovery(scale Scale) *Report {
 			rc := RunConfig{
 				Variant: v,
 				Traffic: trafficFor(scale, 0.4, 0.05),
-				Faults:  plan,
+				// The plan is shared by concurrent cells; that is safe
+				// because Plan.Apply only reads it.
+				Faults: plan,
 			}
-			ms := seedMetrics(rc, scale.Seeds, func(r *Result) []float64 {
-				return []float64{
-					r.FgP(0.99), r.BgMean(), r.TimeoutsPer1k(),
-					float64(r.Faults.LinkFlaps), float64(r.Faults.DownDrops),
-					float64(r.Incomplete),
-				}
+			sw.add(rc, scale.Seeds, func(rs []*Result) {
+				ms := metricsOf(rs, func(r *Result) []float64 {
+					return []float64{
+						r.FgP(0.99), r.BgMean(), r.TimeoutsPer1k(),
+						float64(r.Faults.LinkFlaps), float64(r.Faults.DownDrops),
+						float64(r.Incomplete),
+					}
+				})
+				rep.AddRow(label, v.Name(),
+					meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)),
+					fmt.Sprintf("%.1f", stats.Mean(col(ms, 2))),
+					fmt.Sprintf("%.0f", stats.Mean(col(ms, 3))),
+					fmt.Sprintf("%.0f", stats.Mean(col(ms, 4))),
+					fmt.Sprintf("%.0f", stats.Mean(col(ms, 5))))
 			})
-			rep.AddRow(label, v.Name(),
-				meanStdDur(ms[0]), meanStdDur(ms[1]),
-				fmt.Sprintf("%.1f", stats.Mean(ms[2])),
-				fmt.Sprintf("%.0f", stats.Mean(ms[3])),
-				fmt.Sprintf("%.0f", stats.Mean(ms[4])),
-				fmt.Sprintf("%.0f", stats.Mean(ms[5])))
 		}
 	}
+	sw.exec()
 	rep.Note("flap-induced wire loss forces loss recovery: TLT keeps retransmission " +
 		"ACK-clocked so FCT degrades gracefully, while the baseline pays an RTO per flap-hit tail")
 	return rep

@@ -29,26 +29,39 @@ func Dumbbell(scale Scale) *Report {
 	if scale.AppPoints > 0 {
 		fgFlows = 120
 	}
+	sw := newSweep(rep)
 	for _, tlt := range []bool{false, true} {
-		var paused, goodput, fgP99 []float64
-		timeouts := 0
-		var drops int64
-		for seed := 0; seed < scale.Seeds; seed++ {
-			r := runDumbbell(tlt, fgFlows, int64(seed))
-			paused = append(paused, r.pausedTime.Seconds())
-			goodput = append(goodput, r.bgGoodputBps/1e9)
-			fgP99 = append(fgP99, r.fgP99)
-			timeouts += r.timeouts
-			drops += r.drops
-		}
 		v := Variant{Transport: "dctcp", TLT: tlt, PFC: true}
-		rep.AddRow(v.Name(),
-			meanStdDur(paused),
-			fmt.Sprintf("%.2fGbps", stats.Mean(goodput)),
-			meanStdDur(fgP99),
-			fmt.Sprintf("%d", timeouts),
-			fmt.Sprintf("%d", drops))
+		rc := RunConfig{
+			Label: v.Name() + " dumbbell",
+			Custom: func(rc RunConfig) *Result {
+				return runDumbbell(tlt, fgFlows, rc.Seed)
+			},
+		}
+		sw.add0(rc, scale.Seeds, func(rs []*Result) {
+			var paused, goodput, fgP99 []float64
+			timeouts := 0
+			var drops int64
+			for _, res := range rs {
+				if res == nil || res.Panicked {
+					continue
+				}
+				r := res.App.(*dumbbellResult)
+				paused = append(paused, r.pausedTime.Seconds())
+				goodput = append(goodput, r.bgGoodputBps/1e9)
+				fgP99 = append(fgP99, r.fgP99)
+				timeouts += r.timeouts
+				drops += r.drops
+			}
+			rep.AddRow(v.Name(),
+				meanStdDur(paused),
+				fmt.Sprintf("%.2fGbps", stats.Mean(goodput)),
+				meanStdDur(fgP99),
+				fmt.Sprintf("%d", timeouts),
+				fmt.Sprintf("%d", drops))
+		})
 	}
+	sw.exec()
 	rep.Note("paper: TLT halves PFC pause duration (6.24ms -> 3.26ms) and lifts bg goodput; TLT's color drops are proactive by design, all other drops stay 0")
 	return rep
 }
@@ -61,7 +74,7 @@ type dumbbellResult struct {
 	drops        int64
 }
 
-func runDumbbell(tlt bool, fgFlows int, seed int64) *dumbbellResult {
+func runDumbbell(tlt bool, fgFlows int, seed int64) *Result {
 	s := sim.New()
 	swc := fabric.SwitchConfig{
 		// Netberg Aurora 420 / Trident II: 12 MB shared buffer.
@@ -131,11 +144,11 @@ func runDumbbell(tlt bool, fgFlows int, seed int64) *dumbbellResult {
 		pausedTotal += tx.PausedTotal
 	}
 	ctr := n.Counters()
-	return &dumbbellResult{
+	return &Result{Rec: rec, EventsRun: s.Processed, App: &dumbbellResult{
 		pausedTime:   pausedTotal,
 		bgGoodputBps: float64(bgDuring) * 8 / window.Seconds(),
 		fgP99:        stats.Percentile(rec.Select(true), 0.99),
 		timeouts:     rec.TimeoutsAll(),
 		drops:        ctr.TotalDrops() - ctr.DropRedColor, // non-proactive drops
-	}
+	}}
 }

@@ -189,8 +189,7 @@ func TestStallWatchdogNamesStarvedFlow(t *testing.T) {
 	if !found {
 		t.Fatalf("stall report does not name flow %d: %v", victim.ID, res.Stalls)
 	}
-	notes := drainNotes()
-	joined := strings.Join(notes, "\n")
+	joined := strings.Join(res.Notes, "\n")
 	if !strings.Contains(joined, "incomplete=") || !strings.Contains(joined, "stall:") {
 		t.Fatalf("harness notes missing stall report:\n%s", joined)
 	}

@@ -15,8 +15,10 @@ import (
 
 // testbedStar builds the 10-node testbed model (§6): a Tomahawk-class
 // switch whose dynamic allocation lets a single busy port absorb up to
-// ~1.8 MB, color threshold 270 kB (~BDP), ECN at 200 kB.
-func testbedStar(v Variant, hosts int) (*sim.Sim, *topo.Network) {
+// ~1.8 MB, color threshold 270 kB (~BDP), ECN at 200 kB. The audit flag
+// comes from the cell's RunConfig (resolved by RunGrid), never from
+// global state, so concurrent cells stay independent.
+func testbedStar(v Variant, hosts int, auditOn bool) (*sim.Sim, *topo.Network) {
 	s := sim.New()
 	swc := v.switchConfig()
 	swc.BufferBytes = 3_600_000
@@ -29,7 +31,7 @@ func testbedStar(v Variant, hosts int) (*sim.Sim, *topo.Network) {
 		LinkDelay:   2 * sim.Microsecond,
 		Switch:      swc,
 	})
-	if _, auditOn := harnessSettings(); auditOn {
+	if auditOn {
 		a := audit.New(s)
 		for _, sw := range n.Switches {
 			a.AttachSwitch(sw)
@@ -67,30 +69,53 @@ func Fig12(scale Scale) *Report {
 		{Transport: "dctcp"},
 		{Transport: "dctcp", TLT: true},
 	}
+	sw := newSweep(rep)
 	for _, v := range variants {
 		for _, reqs := range points {
-			var p99s, maxs []float64
-			timeouts := 0
-			for seed := 0; seed < scale.Seeds; seed++ {
-				s, n := testbedStar(v, 10)
-				rec := stats.NewRecorder()
-				cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
-				rts := cl.RunSetBurst(reqs, sim.Time(seed)*sim.Microsecond)
-				s.Run(5 * sim.Second)
-				xs := durSecs(rts)
-				if len(xs) != reqs {
-					rep.Note("%s flows=%d seed=%d: only %d/%d requests completed", v.Name(), reqs, seed, len(xs), reqs)
-				}
-				p99s = append(p99s, stats.Percentile(xs, 0.99))
-				maxs = append(maxs, stats.Percentile(xs, 1))
-				timeouts += rec.TimeoutsAll()
+			rc := RunConfig{
+				Label: fmt.Sprintf("%s fig12 flows=%d", v.Name(), reqs),
+				Custom: func(rc RunConfig) *Result {
+					s, n := testbedStar(v, 10, rc.Audit)
+					rec := stats.NewRecorder()
+					cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
+					rts := cl.RunSetBurst(reqs, sim.Time(rc.Seed)*sim.Microsecond)
+					s.Run(5 * sim.Second)
+					res := &Result{Rec: rec, EventsRun: s.Processed}
+					xs := durSecs(rts)
+					if len(xs) != reqs {
+						res.Notef("%s flows=%d seed=%d: only %d/%d requests completed", v.Name(), reqs, rc.Seed, len(xs), reqs)
+					}
+					res.App = xs
+					return res
+				},
 			}
-			rep.AddRow(v.Name(), fmt.Sprintf("%d", reqs),
-				meanStdDur(p99s), meanStdDur(maxs), fmt.Sprintf("%d", timeouts))
+			sw.add0(rc, scale.Seeds, func(rs []*Result) {
+				var p99s, maxs []float64
+				timeouts := 0
+				for _, r := range rs {
+					if r == nil || r.Panicked {
+						continue
+					}
+					xs := r.App.([]float64)
+					p99s = append(p99s, stats.Percentile(xs, 0.99))
+					maxs = append(maxs, stats.Percentile(xs, 1))
+					timeouts += r.Rec.TimeoutsAll()
+				}
+				rep.AddRow(v.Name(), fmt.Sprintf("%d", reqs),
+					meanStdDur(p99s), meanStdDur(maxs), fmt.Sprintf("%d", timeouts))
+			})
 		}
 	}
+	sw.exec()
 	rep.Note("paper: (DC)TCP response time explodes with fan-out and varies wildly; +TLT stays 213us-4.4ms with no timeouts")
 	return rep
+}
+
+// mixedCell is the Fig13 per-seed payload.
+type mixedCell struct {
+	p99        float64
+	goodput    float64
+	bgComplete bool
 }
 
 // Fig13 reproduces Figure 13: one 8 MB background flow to the cache node
@@ -101,29 +126,47 @@ func Fig13(scale Scale) *Report {
 		Title:  "Mixed traffic: 99% fg completion and bg goodput (8MB bg + 152 x 32kB fg)",
 		Header: []string{"variant", "fg p99", "bg goodput", "timeouts"},
 	}
+	sw := newSweep(rep)
 	for _, v := range []Variant{
 		{Transport: "dctcp"},
 		{Transport: "dctcp", TLT: true},
 	} {
-		var p99s, goodputs []float64
-		timeouts := 0
-		for seed := 0; seed < scale.Seeds; seed++ {
-			s, n := testbedStar(v, 10)
-			rec := stats.NewRecorder()
-			// hosts[0]=client (unused), 1..8 web servers, 9=redis; the
-			// bg sender is the client host to keep servers clean.
-			cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
-			res := cl.RunMixed(152, n.Hosts[0], 8_000_000, 0)
-			s.Run(5 * sim.Second)
-			p99s = append(p99s, stats.Percentile(durSecs(res.FgRTs), 0.99))
-			if res.BgComplete {
-				goodputs = append(goodputs, res.BgGoodput*8/1e9)
-			}
-			timeouts += rec.TimeoutsAll()
+		rc := RunConfig{
+			Label: v.Name() + " fig13",
+			Custom: func(rc RunConfig) *Result {
+				s, n := testbedStar(v, 10, rc.Audit)
+				rec := stats.NewRecorder()
+				// hosts[0]=client (unused), 1..8 web servers, 9=redis; the
+				// bg sender is the client host to keep servers clean.
+				cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
+				mr := cl.RunMixed(152, n.Hosts[0], 8_000_000, 0)
+				s.Run(5 * sim.Second)
+				return &Result{Rec: rec, EventsRun: s.Processed, App: mixedCell{
+					p99:        stats.Percentile(durSecs(mr.FgRTs), 0.99),
+					goodput:    mr.BgGoodput * 8 / 1e9,
+					bgComplete: mr.BgComplete,
+				}}
+			},
 		}
-		rep.AddRow(v.Name(), meanStdDur(p99s),
-			fmt.Sprintf("%.2fGbps", stats.Mean(goodputs)), fmt.Sprintf("%d", timeouts))
+		sw.add0(rc, scale.Seeds, func(rs []*Result) {
+			var p99s, goodputs []float64
+			timeouts := 0
+			for _, r := range rs {
+				if r == nil || r.Panicked {
+					continue
+				}
+				mc := r.App.(mixedCell)
+				p99s = append(p99s, mc.p99)
+				if mc.bgComplete {
+					goodputs = append(goodputs, mc.goodput)
+				}
+				timeouts += r.Rec.TimeoutsAll()
+			}
+			rep.AddRow(v.Name(), meanStdDur(p99s),
+				fmt.Sprintf("%.2fGbps", stats.Mean(goodputs)), fmt.Sprintf("%d", timeouts))
+		})
 	}
+	sw.exec()
 	rep.Note("paper: DCTCP fg p99 up to 11.3ms vs 3.39ms with TLT (71%% better) at 5.6%% bg goodput cost")
 	return rep
 }
@@ -148,20 +191,31 @@ func Fig14(scale Scale) *Report {
 		{Transport: "dctcp", RTOMin: 200 * sim.Microsecond},
 		{Transport: "dctcp", TLT: true},
 	}
+	sw := newSweep(rep)
 	for _, v := range variants {
 		for _, flowsN := range points {
-			var p99s, p50s []float64
-			timeouts := 0
-			for seed := 0; seed < scale.Seeds; seed++ {
-				res := runIncastStar(v, flowsN, int64(seed))
-				p99s = append(p99s, stats.Percentile(res.fcts, 0.99))
-				p50s = append(p50s, stats.Percentile(res.fcts, 0.5))
-				timeouts += res.timeouts
+			rc := RunConfig{
+				Label:  fmt.Sprintf("%s fig14 flows=%d", v.Name(), flowsN),
+				Custom: incastCell(v, flowsN),
 			}
-			rep.AddRow(v.Name(), fmt.Sprintf("%d", flowsN),
-				meanStdDur(p99s), meanStdDur(p50s), fmt.Sprintf("%d", timeouts))
+			sw.add0(rc, scale.Seeds, func(rs []*Result) {
+				var p99s, p50s []float64
+				timeouts := 0
+				for _, r := range rs {
+					if r == nil || r.Panicked {
+						continue
+					}
+					ir := r.App.(*incastResult)
+					p99s = append(p99s, stats.Percentile(ir.fcts, 0.99))
+					p50s = append(p50s, stats.Percentile(ir.fcts, 0.5))
+					timeouts += ir.timeouts
+				}
+				rep.AddRow(v.Name(), fmt.Sprintf("%d", flowsN),
+					meanStdDur(p99s), meanStdDur(p50s), fmt.Sprintf("%d", timeouts))
+			})
 		}
 	}
+	sw.exec()
 	rep.Note("paper: (DC)TCP hits the RTO cliff beyond ~40-50 flows; TLT absorbs 4x more flows with zero timeouts")
 	return rep
 }
@@ -171,10 +225,19 @@ type incastResult struct {
 	timeouts int
 }
 
+// incastCell wraps runIncastStar as a grid cell; the seed and audit flag
+// arrive through the resolved RunConfig.
+func incastCell(v Variant, flowsN int) func(rc RunConfig) *Result {
+	return func(rc RunConfig) *Result {
+		ir, events, rec := runIncastStar(v, flowsN, rc.Seed, rc.Audit)
+		return &Result{Rec: rec, EventsRun: events, App: ir}
+	}
+}
+
 // runIncastStar starts flowsN synchronized 32 kB flows from 8 servers to
 // one client on the testbed star.
-func runIncastStar(v Variant, flowsN int, seed int64) *incastResult {
-	s, n := testbedStar(v, 9)
+func runIncastStar(v Variant, flowsN int, seed int64, auditOn bool) (*incastResult, uint64, *stats.Recorder) {
+	s, n := testbedStar(v, 9, auditOn)
 	rec := stats.NewRecorder()
 	cfg := v.tcpConfig()
 	for i := 0; i < flowsN; i++ {
@@ -190,7 +253,7 @@ func runIncastStar(v Variant, flowsN int, seed int64) *incastResult {
 		tcp.StartFlow(s, src, n.Hosts[0], f, cfg, rec, nil)
 	}
 	s.Run(10 * sim.Second)
-	return &incastResult{fcts: rec.Select(true), timeouts: rec.TimeoutsAll()}
+	return &incastResult{fcts: rec.Select(true), timeouts: rec.TimeoutsAll()}, s.Processed, rec
 }
 
 // Fig14CDF prints the FCT distribution at a fixed fan-out (Figure 14c).
@@ -205,13 +268,22 @@ func Fig14CDF(scale Scale) *Report {
 		{Transport: "tcp", RTOMin: 200 * sim.Microsecond},
 		{Transport: "tcp", TLT: true},
 	}
+	sw := newSweep(rep)
 	for _, v := range variants {
-		res := runIncastStar(v, 100, 1)
-		row := []string{v.Name()}
-		for _, p := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1} {
-			row = append(row, stats.FmtDur(stats.Percentile(res.fcts, p)))
+		rc := RunConfig{
+			Label:  v.Name() + " fig14c",
+			Seed:   1,
+			Custom: incastCell(v, 100),
 		}
-		rep.AddRow(row...)
+		sw.cell(rc, func(res *Result) {
+			ir := res.App.(*incastResult)
+			row := []string{v.Name()}
+			for _, p := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+				row = append(row, stats.FmtDur(stats.Percentile(ir.fcts, p)))
+			}
+			rep.AddRow(row...)
+		})
 	}
+	sw.exec()
 	return rep
 }

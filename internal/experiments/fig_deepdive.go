@@ -20,19 +20,23 @@ func Fig8(scale Scale) *Report {
 	if scale.AppPoints > 0 && scale.AppPoints < len(thresholds) {
 		thresholds = thresholds[:scale.AppPoints]
 	}
+	sw := newSweep(rep)
 	for _, pfc := range []bool{false, true} {
 		for _, k := range thresholds {
 			v := Variant{Transport: "dctcp", TLT: true, PFC: pfc, ColorThreshold: k}
-			ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
-				func(r *Result) []float64 {
-					return []float64{r.FgP(0.999), r.BgMean(), r.ImpLossRate(), r.PausesPer1k()}
+			sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+				func(rs []*Result) {
+					ms := metricsOf(rs, func(r *Result) []float64 {
+						return []float64{r.FgP(0.999), r.BgMean(), r.ImpLossRate(), r.PausesPer1k()}
+					})
+					rep.AddRow(fmt.Sprintf("%v", pfc), fmt.Sprintf("%dkB", k/1000),
+						meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)),
+						fmt.Sprintf("%.2e", stats.Mean(col(ms, 2))),
+						fmt.Sprintf("%.1f", stats.Mean(col(ms, 3))))
 				})
-			rep.AddRow(fmt.Sprintf("%v", pfc), fmt.Sprintf("%dkB", k/1000),
-				meanStdDur(ms[0]), meanStdDur(ms[1]),
-				fmt.Sprintf("%.2e", stats.Mean(ms[2])),
-				fmt.Sprintf("%.1f", stats.Mean(ms[3])))
 		}
 	}
+	sw.exec()
 	rep.Note("paper: larger K lowers bg FCT but raises fg tail; beyond ~700kB important drops appear (lossy)")
 	return rep
 }
@@ -55,13 +59,17 @@ func Fig9(scale Scale) *Report {
 		{Transport: "dctcp", PFC: true},
 		{Transport: "dctcp", TLT: true, PFC: true},
 	}
+	sw := newSweep(rep)
 	for _, v := range variants {
 		for _, load := range loads {
-			ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, load, 0.05)}, scale.Seeds,
-				func(r *Result) []float64 { return []float64{r.FgP(0.99), r.BgMean()} })
-			rep.AddRow(v.Name(), fmt.Sprintf("%.0f%%", load*100), meanStdDur(ms[0]), meanStdDur(ms[1]))
+			sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, load, 0.05)}, scale.Seeds,
+				func(rs []*Result) {
+					ms := metricsOf(rs, func(r *Result) []float64 { return []float64{r.FgP(0.99), r.BgMean()} })
+					rep.AddRow(v.Name(), fmt.Sprintf("%.0f%%", load*100), meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)))
+				})
 		}
 	}
+	sw.exec()
 	rep.Note("paper: TLT helps HPCC at all loads; DCTCP+TLT helps below ~50%% load, hurts bg beyond")
 	return rep
 }
@@ -78,12 +86,16 @@ func Fig10(scale Scale) *Report {
 	if scale.AppPoints > 0 && scale.AppPoints < len(shares) {
 		shares = shares[:scale.AppPoints]
 	}
+	sw := newSweep(rep)
 	for _, share := range shares {
 		v := Variant{Transport: "dctcp", TLT: true}
-		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, share)}, scale.Seeds,
-			func(r *Result) []float64 { return []float64{r.Rec.ImportantFraction()} })
-		rep.AddRow(fmt.Sprintf("%.0f%%", share*100), fmt.Sprintf("%.2f%%", stats.Mean(ms[0])*100))
+		sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, share)}, scale.Seeds,
+			func(rs []*Result) {
+				ms := metricsOf(rs, func(r *Result) []float64 { return []float64{r.Rec.ImportantFraction()} })
+				rep.AddRow(fmt.Sprintf("%.0f%%", share*100), fmt.Sprintf("%.2f%%", stats.Mean(col(ms, 0))*100))
+			})
 	}
+	sw.exec()
 	rep.Note("paper: 3.29%% by volume without foreground traffic, growing with fg share")
 	return rep
 }
@@ -100,21 +112,25 @@ func Fig11(scale Scale) *Report {
 	if scale.AppPoints > 0 && scale.AppPoints < len(thresholds) {
 		thresholds = thresholds[:scale.AppPoints]
 	}
+	sw := newSweep(rep)
 	run := func(v Variant, k string) {
-		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), SampleQueues: true}, scale.Seeds,
-			func(r *Result) []float64 {
-				return []float64{r.Rec.ImportantFraction(), float64(r.MaxQ), float64(r.MaxRedQ), median(r.QSamples)}
+		sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), SampleQueues: true}, scale.Seeds,
+			func(rs []*Result) {
+				ms := metricsOf(rs, func(r *Result) []float64 {
+					return []float64{r.Rec.ImportantFraction(), float64(r.MaxQ), float64(r.MaxRedQ), median(r.QSamples)}
+				})
+				rep.AddRow(v.Name(), k,
+					fmt.Sprintf("%.2f%%", stats.Mean(col(ms, 0))*100),
+					fmt.Sprintf("%.0fkB", stats.Mean(col(ms, 1))/1000),
+					fmt.Sprintf("%.0fkB", stats.Mean(col(ms, 2))/1000),
+					fmt.Sprintf("%.0fkB", stats.Mean(col(ms, 3))/1000))
 			})
-		rep.AddRow(v.Name(), k,
-			fmt.Sprintf("%.2f%%", stats.Mean(ms[0])*100),
-			fmt.Sprintf("%.0fkB", stats.Mean(ms[1])/1000),
-			fmt.Sprintf("%.0fkB", stats.Mean(ms[2])/1000),
-			fmt.Sprintf("%.0fkB", stats.Mean(ms[3])/1000))
 	}
 	run(Variant{Transport: "dctcp"}, "-")
 	for _, k := range thresholds {
 		run(Variant{Transport: "dctcp", TLT: true, ColorThreshold: k}, fmt.Sprintf("%dkB", k/1000))
 	}
+	sw.exec()
 	rep.Note("paper: vanilla DCTCP max queue reaches 2.18MB under bursts; TLT keeps unimportant queue under K and total 23%% lower")
 	return rep
 }
@@ -127,19 +143,22 @@ func Fig16(scale Scale) *Report {
 		Title:  "Segment delivery time (DCTCP, no PFC)",
 		Header: []string{"variant", "p50", "p90", "p99", "p99.9"},
 	}
+	sw := newSweep(rep)
 	for _, v := range []Variant{
 		{Transport: "dctcp"},
 		{Transport: "dctcp", TLT: true},
 	} {
 		rc := RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), CollectDelivery: true, Seed: 1}
-		res := Run(rc)
-		xs := res.Rec.DeliverySamples.Samples()
-		rep.AddRow(v.Name(),
-			stats.FmtDur(stats.Percentile(xs, 0.5)),
-			stats.FmtDur(stats.Percentile(xs, 0.9)),
-			stats.FmtDur(stats.Percentile(xs, 0.99)),
-			stats.FmtDur(stats.Percentile(xs, 0.999)))
+		sw.cell(rc, func(res *Result) {
+			xs := res.Rec.DeliverySamples.Samples()
+			rep.AddRow(v.Name(),
+				stats.FmtDur(stats.Percentile(xs, 0.5)),
+				stats.FmtDur(stats.Percentile(xs, 0.9)),
+				stats.FmtDur(stats.Percentile(xs, 0.99)),
+				stats.FmtDur(stats.Percentile(xs, 0.999)))
+		})
 	}
+	sw.exec()
 	rep.Note("paper: TLT reduces p99 delivery by 22.8%% and p99.9 by 57.6%%")
 	return rep
 }
@@ -160,20 +179,24 @@ func Fig17(scale Scale) *Report {
 		{"1-byte", core.ClockOneByte},
 		{"full-MTU", core.ClockFullMTU},
 	}
+	sw := newSweep(rep)
 	for _, md := range modes {
 		v := Variant{Transport: "dctcp", TLT: true, PFC: true, ClockMode: md.m}
-		var clockBytes int64
-		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
-			func(r *Result) []float64 {
-				for _, fr := range r.Rec.Flows {
-					clockBytes += fr.ClockBytes
-				}
-				return []float64{r.FgP(0.999), r.FgP(0.99), r.PausesPer1k()}
+		sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05)}, scale.Seeds,
+			func(rs []*Result) {
+				var clockBytes int64
+				ms := metricsOf(rs, func(r *Result) []float64 {
+					for _, fr := range r.Rec.Flows {
+						clockBytes += fr.ClockBytes
+					}
+					return []float64{r.FgP(0.999), r.FgP(0.99), r.PausesPer1k()}
+				})
+				rep.AddRow(md.name, meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)),
+					fmt.Sprintf("%d", clockBytes/int64(scale.Seeds)),
+					fmt.Sprintf("%.1f", stats.Mean(col(ms, 2))))
 			})
-		rep.AddRow(md.name, meanStdDur(ms[0]), meanStdDur(ms[1]),
-			fmt.Sprintf("%d", clockBytes/int64(scale.Seeds)),
-			fmt.Sprintf("%.1f", stats.Mean(ms[2])))
 	}
+	sw.exec()
 	rep.Note("paper: adaptive recovers ~as fast as full-MTU with 6.9x less clock bandwidth; 1-byte recovery is ~55x slower at p99")
 	return rep
 }
@@ -196,15 +219,19 @@ func Fig18(scale Scale) *Report {
 		{Transport: "hpcc", PFC: true},
 		{Transport: "hpcc", TLT: true},
 	}
+	sw := newSweep(rep)
 	for _, v := range variants {
 		for _, d := range degrees {
 			tr := trafficFor(scale, 0.4, 0.05)
 			tr.FlowsPerSender = d
-			ms := seedMetrics(RunConfig{Variant: v, Traffic: tr}, scale.Seeds,
-				func(r *Result) []float64 { return []float64{r.FgP(0.99), r.BgMean()} })
-			rep.AddRow(v.Name(), fmt.Sprintf("%d", d), meanStdDur(ms[0]), meanStdDur(ms[1]))
+			sw.add(RunConfig{Variant: v, Traffic: tr}, scale.Seeds,
+				func(rs []*Result) {
+					ms := metricsOf(rs, func(r *Result) []float64 { return []float64{r.FgP(0.99), r.BgMean()} })
+					rep.AddRow(v.Name(), fmt.Sprintf("%d", d), meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)))
+				})
 		}
 	}
+	sw.exec()
 	rep.Note("paper: TLT's advantage grows with incast degree (up to 78.9%% for HPCC, 67%% for TCP)")
 	return rep
 }
@@ -217,18 +244,29 @@ func Table1(scale Scale) *Report {
 		Title:  "Important packet loss rate vs threshold and fg share (no PFC)",
 		Header: []string{"variant", "fg share", "K=400kB", "K=500kB", "K=600kB"},
 	}
+	// Each table row spans several cells (one per K). The row slice is
+	// built up across that row's folds — safe because folds replay
+	// serially in registration order — and emitted by the last fold.
+	ks := []int64{400_000, 500_000, 600_000}
+	sw := newSweep(rep)
 	for _, base := range []string{"dctcp", "tcp"} {
 		for _, share := range []float64{0.05, 0.10} {
 			row := []string{base + "+tlt", fmt.Sprintf("%.0f%%", share*100)}
-			for _, k := range []int64{400_000, 500_000, 600_000} {
+			for ki, k := range ks {
 				v := Variant{Transport: base, TLT: true, ColorThreshold: k}
-				ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.3, share)}, scale.Seeds,
-					func(r *Result) []float64 { return []float64{r.ImpLossRate()} })
-				row = append(row, fmt.Sprintf("%.2e", stats.Mean(ms[0])))
+				last := ki == len(ks)-1
+				sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.3, share)}, scale.Seeds,
+					func(rs []*Result) {
+						ms := metricsOf(rs, func(r *Result) []float64 { return []float64{r.ImpLossRate()} })
+						row = append(row, fmt.Sprintf("%.2e", stats.Mean(col(ms, 0))))
+						if last {
+							rep.AddRow(row...)
+						}
+					})
 			}
-			rep.AddRow(row...)
 		}
 	}
+	sw.exec()
 	rep.Note("paper: zero important drops at K=400kB; loss grows with K and churn (up to 3.5e-3)")
 	return rep
 }
@@ -266,22 +304,31 @@ func Fig15(scale Scale) *Report {
 		}
 	}
 	// Appendix B: 16 kB foreground flows, 4 per host, 30% default load.
+	// As in Table1, each row accumulates across per-variant folds and the
+	// last fold emits it.
+	sw := newSweep(rep)
 	for _, wl := range workloads {
 		dist, _ := workload.ByName(wl)
 		for _, load := range loads {
 			row := []string{wl, fmt.Sprintf("%.1f", load)}
-			for _, v := range variants {
+			for vi, v := range variants {
 				tr := trafficFor(scale, load, 0.05)
 				tr.Dist = dist
 				tr.FgFlowSize = 16_000
 				tr.FlowsPerSender = 4
-				ms := seedMetrics(RunConfig{Variant: v, Traffic: tr}, 1,
-					func(r *Result) []float64 { return []float64{r.FgP(0.999)} })
-				row = append(row, fmt.Sprintf("%.2f", stats.Mean(ms[0])*1e3))
+				last := vi == len(variants)-1
+				sw.add(RunConfig{Variant: v, Traffic: tr}, 1,
+					func(rs []*Result) {
+						ms := metricsOf(rs, func(r *Result) []float64 { return []float64{r.FgP(0.999)} })
+						row = append(row, fmt.Sprintf("%.2f", stats.Mean(col(ms, 0))*1e3))
+						if last {
+							rep.AddRow(row...)
+						}
+					})
 			}
-			rep.AddRow(row...)
 		}
 	}
+	sw.exec()
 	rep.Note("values in milliseconds; paper Figure 15 (single seed per cell)")
 	return rep
 }

@@ -23,35 +23,38 @@ func Fig1(scale Scale) *Report {
 		Title:  "CDF of RTT and calculated RTO (DCTCP, RTOmin=200us, load 40%, 5% fg)",
 		Header: []string{"class", "metric", "p50", "p90", "p99", ">1.1ms"},
 	}
+	sw := newSweep(rep)
 	rc := RunConfig{
 		Variant:    Variant{Transport: "dctcp", RTOMin: 200 * sim.Microsecond},
 		Traffic:    trafficFor(scale, 0.4, 0.05),
 		CollectRTT: true,
 		Seed:       1,
 	}
-	res := Run(rc)
-	add := func(class, metric string, r *stats.Reservoir) {
-		xs := r.Samples()
-		over := 0
-		for _, x := range xs {
-			if x > 1.1e-3 {
-				over++
+	sw.cell(rc, func(res *Result) {
+		add := func(class, metric string, r *stats.Reservoir) {
+			xs := r.Samples()
+			over := 0
+			for _, x := range xs {
+				if x > 1.1e-3 {
+					over++
+				}
 			}
+			frac := 0.0
+			if len(xs) > 0 {
+				frac = float64(over) / float64(len(xs))
+			}
+			rep.AddRow(class, metric,
+				stats.FmtDur(stats.Percentile(xs, 0.5)),
+				stats.FmtDur(stats.Percentile(xs, 0.9)),
+				stats.FmtDur(stats.Percentile(xs, 0.99)),
+				fmt.Sprintf("%.1f%%", frac*100))
 		}
-		frac := 0.0
-		if len(xs) > 0 {
-			frac = float64(over) / float64(len(xs))
-		}
-		rep.AddRow(class, metric,
-			stats.FmtDur(stats.Percentile(xs, 0.5)),
-			stats.FmtDur(stats.Percentile(xs, 0.9)),
-			stats.FmtDur(stats.Percentile(xs, 0.99)),
-			fmt.Sprintf("%.1f%%", frac*100))
-	}
-	add("background", "RTT", res.Rec.RTTSamplesBG)
-	add("background", "RTO", res.Rec.RTOSamplesBG)
-	add("foreground", "RTT", res.Rec.RTTSamplesFG)
-	add("foreground", "RTO", res.Rec.RTOSamplesFG)
+		add("background", "RTT", res.Rec.RTTSamplesBG)
+		add("background", "RTO", res.Rec.RTOSamplesBG)
+		add("foreground", "RTT", res.Rec.RTTSamplesFG)
+		add("foreground", "RTO", res.Rec.RTOSamplesFG)
+	})
+	sw.exec()
 	rep.Note("paper: >10%% of foreground flows estimate RTO above 1.1 ms while p90 RTT is ~0.48 ms")
 	return rep
 }
@@ -70,15 +73,19 @@ func Fig2(scale Scale) *Report {
 	}
 	type row struct{ fg, bg, to []float64 }
 	rows := make([]row, len(variants))
+	sw := newSweep(rep)
 	for i, v := range variants {
-		ms := seedMetrics(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.15)}, scale.Seeds,
-			func(r *Result) []float64 {
-				return []float64{r.FgP(0.99), r.BgMean(), r.TimeoutsPer1k()}
+		sw.add(RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.15)}, scale.Seeds,
+			func(rs []*Result) {
+				ms := metricsOf(rs, func(r *Result) []float64 {
+					return []float64{r.FgP(0.99), r.BgMean(), r.TimeoutsPer1k()}
+				})
+				rows[i] = row{col(ms, 0), col(ms, 1), col(ms, 2)}
+				rep.AddRow(v.Name(), meanStdDur(col(ms, 0)), meanStdDur(col(ms, 1)),
+					fmt.Sprintf("%.1f", stats.Mean(col(ms, 2))))
 			})
-		rows[i] = row{ms[0], ms[1], ms[2]}
-		rep.AddRow(v.Name(), meanStdDur(ms[0]), meanStdDur(ms[1]),
-			fmt.Sprintf("%.1f", stats.Mean(ms[2])))
 	}
+	sw.exec()
 	base, fixed := rows[0], rows[1]
 	if len(base.fg) > 0 && len(fixed.fg) > 0 {
 		rep.Note("fg p99 change: %+.0f%%; bg avg change: %+.0f%%; timeout ratio: %.1fx (paper: -41%%, +113%%, 51x)",

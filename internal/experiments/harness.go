@@ -1,26 +1,27 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 
 	"tlt/internal/chaos"
 )
 
-// The harness carries session-wide settings from the CLI (-chaos, -audit)
-// into every run without threading them through each figure's RunConfig
-// literals, plus the note stream the runner and stall watchdog emit
-// (incomplete-flow warnings, stall reports, seed-panic captures) so they
-// surface in whichever report is being built.
+// The harness carries session-wide settings from the CLI (-chaos,
+// -audit) into every grid cell without threading them through each
+// figure's RunConfig literals. RunGrid folds them into cells at submit
+// time, so Run itself is a pure function of its RunConfig and all
+// per-run state — notes, fault counters, panic captures — lives on the
+// cell's Result. That per-run scoping is what keeps 16 concurrent sims
+// race-free.
 var (
 	harnessMu    sync.Mutex
 	harnessPlan  *chaos.Plan
 	harnessAudit bool
-	pendingNotes []string
 )
 
 // SetHarness installs a fault plan and/or audit mode applied to every
-// subsequent run. Pass (nil, false) to clear.
+// subsequent grid cell that doesn't set its own. Pass (nil, false) to
+// clear. Call it before runs start, not while a grid is in flight.
 func SetHarness(plan *chaos.Plan, audit bool) {
 	harnessMu.Lock()
 	defer harnessMu.Unlock()
@@ -34,28 +35,9 @@ func harnessSettings() (*chaos.Plan, bool) {
 	return harnessPlan, harnessAudit
 }
 
-// addNote queues a harness note for the report under construction.
-func addNote(format string, args ...any) {
-	harnessMu.Lock()
-	defer harnessMu.Unlock()
-	pendingNotes = append(pendingNotes, fmt.Sprintf(format, args...))
-}
-
-// drainNotes returns and clears the queued notes.
-func drainNotes() []string {
-	harnessMu.Lock()
-	defer harnessMu.Unlock()
-	out := pendingNotes
-	pendingNotes = nil
-	return out
-}
-
-// RunEntry executes a registry entry and folds the harness notes
-// accumulated during the run (stall reports, panic captures, incomplete
-// warnings) into the returned report.
+// RunEntry executes a registry entry. Harness notes accumulated during
+// the run (stall reports, panic captures, incomplete warnings) are
+// already per-cell and merged into the report by the grid executor.
 func RunEntry(e Entry, sc Scale) *Report {
-	drainNotes() // start clean: notes from prior entries belong to them
-	rep := e.Run(sc)
-	rep.Notes = append(rep.Notes, drainNotes()...)
-	return rep
+	return e.Run(sc)
 }

@@ -16,6 +16,17 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	// Grid accounting filled in by the executor, for the bench
+	// pipeline; not part of the rendered report.
+	cells  int
+	events uint64
+}
+
+// GridStats returns how many grid cells produced this report and the
+// total simulation events they processed.
+func (r *Report) GridStats() (cells int, events uint64) {
+	return r.cells, r.events
 }
 
 // AddRow appends a formatted row.

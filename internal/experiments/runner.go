@@ -1,10 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
-	"runtime/debug"
 	"sort"
-	"strings"
 
 	"tlt/internal/audit"
 	"tlt/internal/chaos"
@@ -35,15 +34,32 @@ type RunConfig struct {
 	SampleQueues    bool
 
 	// Faults, when non-nil, applies a deterministic chaos schedule to
-	// the network (nil falls back to the session harness plan).
+	// the network (RunGrid fills in the session harness plan when nil).
 	Faults *chaos.Plan
 	// Audit attaches the strict runtime invariant auditor to every
-	// switch and TLT sender (or'd with the session harness flag).
+	// switch and TLT sender (RunGrid or's in the session harness flag).
 	Audit bool
 	// Prepare, when set, runs after the network is built and flows are
 	// registered but before the simulation starts — a hook for tests
 	// that install deterministic drop filters or probes.
 	Prepare func(s *sim.Sim, net *topo.Network)
+
+	// Custom, when set, replaces the standard leaf-spine Run for this
+	// cell: the app and testbed figures build their own topologies but
+	// still execute on the shared grid. The function receives the fully
+	// resolved config (seed, harness plan, audit flag).
+	Custom func(rc RunConfig) *Result
+	// Label names the cell in panic-replay notes when Variant alone is
+	// not enough (custom cells, sweep points).
+	Label string
+}
+
+// label names the cell for replay notes.
+func (rc RunConfig) label() string {
+	if rc.Label != "" {
+		return rc.Label
+	}
+	return rc.Variant.Name()
 }
 
 // Result aggregates everything a figure needs from one run.
@@ -68,16 +84,55 @@ type Result struct {
 	// Stalls holds the stall-watchdog snapshot of every incomplete
 	// flow's sender at the horizon (empty when all flows finished).
 	Stalls []transport.FlowStatus
+
+	// Notes carries this run's harness messages (incomplete warnings,
+	// stall reports, panic captures); the grid executor merges them
+	// into the report in cell order.
+	Notes []string
+	// Panicked marks a cell that was recovered by the grid executor;
+	// folds skip it.
+	Panicked bool
+	// App carries a custom run's payload (incast FCT vectors, dumbbell
+	// counters, ...) for its figure's fold.
+	App any
+
+	// fgSorted/bgSorted cache the sorted FCT vectors so the repeated
+	// quantile queries of one fold (p99.9, p99, mean) sort once.
+	fgSorted, bgSorted []float64
+}
+
+// Notef appends a formatted harness note to the result.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// sortedFCTs returns the run's completed-flow FCTs for a class, sorted
+// ascending, computing and caching them on first use. Results are read
+// by a single fold goroutine, so the lazy fill needs no lock.
+func (r *Result) sortedFCTs(fg bool) []float64 {
+	c := &r.bgSorted
+	if fg {
+		c = &r.fgSorted
+	}
+	if *c == nil && r.Rec != nil {
+		xs := r.Rec.Select(fg)
+		sort.Float64s(xs)
+		if xs == nil {
+			xs = []float64{} // remember "computed, empty"
+		}
+		*c = xs
+	}
+	return *c
 }
 
 // FgP returns the p-quantile of foreground FCTs in seconds.
-func (r *Result) FgP(p float64) float64 { return stats.Percentile(r.Rec.Select(true), p) }
+func (r *Result) FgP(p float64) float64 { return stats.PercentileSorted(r.sortedFCTs(true), p) }
 
 // BgMean returns the mean background FCT in seconds.
-func (r *Result) BgMean() float64 { return stats.Mean(r.Rec.Select(false)) }
+func (r *Result) BgMean() float64 { return stats.Mean(r.sortedFCTs(false)) }
 
 // BgP returns the p-quantile of background FCTs in seconds.
-func (r *Result) BgP(p float64) float64 { return stats.Percentile(r.Rec.Select(false), p) }
+func (r *Result) BgP(p float64) float64 { return stats.PercentileSorted(r.sortedFCTs(false), p) }
 
 // TimeoutsPer1k returns RTO expirations per thousand flows.
 func (r *Result) TimeoutsPer1k() float64 {
@@ -122,6 +177,7 @@ func Run(rc RunConfig) *Result {
 	flows := workload.Generate(tr, 1)
 
 	rec := stats.NewRecorder()
+	rec.Reserve(len(flows))
 	if rc.CollectDelivery {
 		rec.DeliverySamples = stats.NewReservoir(200_000, rc.Seed)
 	}
@@ -132,16 +188,9 @@ func Run(rc RunConfig) *Result {
 		rec.RTOSamplesBG = stats.NewReservoir(100_000, rc.Seed+3)
 	}
 
-	plan, auditOn := rc.Faults, rc.Audit
-	if hp, ha := harnessSettings(); hp != nil || ha {
-		if plan == nil {
-			plan = hp
-		}
-		auditOn = auditOn || ha
-	}
 	var aud *audit.Auditor
 	var coreAudit core.Audit // stays a nil interface unless auditing is on
-	if auditOn {
+	if rc.Audit {
 		aud = audit.New(s)
 		for _, sw := range net.Switches {
 			aud.AttachSwitch(sw)
@@ -159,8 +208,8 @@ func Run(rc RunConfig) *Result {
 	reporters := startFlows(s, net, flows, v, rec, onDone, coreAudit)
 
 	var eng *chaos.Engine
-	if !plan.Empty() {
-		eng = plan.Apply(s, net, rc.Seed)
+	if !rc.Faults.Empty() {
+		eng = rc.Faults.Apply(s, net, rc.Seed)
 	}
 	if rc.Prepare != nil {
 		rc.Prepare(s, net)
@@ -227,14 +276,14 @@ func Run(rc RunConfig) *Result {
 	}
 	if remaining > 0 {
 		res.Stalls = stallReport(reporters)
-		addNote("%s seed %d: incomplete=%d of %d flows at horizon %v",
+		res.Notef("%s seed %d: incomplete=%d of %d flows at horizon %v",
 			v.Name(), rc.Seed, remaining, len(flows), end)
 		for i, fs := range res.Stalls {
 			if i == 4 {
-				addNote("stall: … %d more stalled flows", len(res.Stalls)-i)
+				res.Notef("stall: … %d more stalled flows", len(res.Stalls)-i)
 				break
 			}
-			addNote("stall: %s", fs)
+			res.Notef("stall: %s", fs)
 		}
 	}
 	return res
@@ -289,48 +338,6 @@ func startFlows(s *sim.Sim, net *topo.Network, flows []*transport.Flow, v Varian
 		panic("experiments: unknown transport " + v.Transport)
 	}
 	return reporters
-}
-
-// seedMetrics runs rc across seeds and returns per-seed metric vectors.
-// A panicking seed (a bad config, an audit violation, a chaos-exposed
-// bug) is captured with enough context to replay it and skipped, so the
-// remaining seeds still produce a partial report.
-func seedMetrics(rc RunConfig, seeds int, metric func(*Result) []float64) [][]float64 {
-	var out [][]float64
-	for seed := 0; seed < seeds; seed++ {
-		rc.Seed = int64(seed + 1)
-		res := runSeedRecovered(rc)
-		if res == nil {
-			continue
-		}
-		m := metric(res)
-		for len(out) < len(m) {
-			out = append(out, nil)
-		}
-		for i, x := range m {
-			if !math.IsNaN(x) {
-				out[i] = append(out[i], x)
-			}
-		}
-	}
-	return out
-}
-
-// runSeedRecovered executes one seed, converting a panic into a harness
-// note that names the seed and variant for deterministic replay.
-func runSeedRecovered(rc RunConfig) (res *Result) {
-	defer func() {
-		if r := recover(); r != nil {
-			stack := strings.Split(string(debug.Stack()), "\n")
-			if len(stack) > 16 {
-				stack = stack[:16]
-			}
-			addNote("seed %d (%s) PANICKED — replay with this variant and seed to debug; partial results reported without it\n%v\n%s",
-				rc.Seed, rc.Variant.Name(), r, strings.Join(stack, "\n"))
-			res = nil
-		}
-	}()
-	return Run(rc)
 }
 
 // meanStd formats mean±std of xs as durations.

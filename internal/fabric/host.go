@@ -25,6 +25,11 @@ type Host struct {
 
 	handlers map[packet.FlowID]PacketHandler
 
+	// pool, when set, supplies outbound packets and recycles inbound
+	// ones after dispatch. Shared by every host of one network (the sim
+	// is single-threaded, so no locking is needed).
+	pool *packet.Pool
+
 	// Trace, when set, observes every packet the host sends ("tx") and
 	// receives ("rx"). Used by the trace package; nil in normal runs.
 	Trace func(now sim.Time, dir string, pkt *packet.Packet)
@@ -40,6 +45,18 @@ func (h *Host) ID() packet.NodeID { return h.id }
 
 // NICTx returns the host's transmitter (for pause accounting in tests).
 func (h *Host) NICTx() *Tx { return h.tx }
+
+// SetPool installs the packet free-list this host allocates from.
+func (h *Host) SetPool(p *packet.Pool) { h.pool = p }
+
+// NewPacket returns a zeroed packet for the transport to fill and Send.
+// Pooled when a free-list is installed, heap-allocated otherwise.
+func (h *Host) NewPacket() *packet.Packet {
+	if h.pool != nil {
+		return h.pool.Get()
+	}
+	return &packet.Packet{}
+}
 
 // QueuedPackets returns the NIC backlog length.
 func (h *Host) QueuedPackets() int { return len(h.queue) - h.pop }
@@ -111,4 +128,12 @@ func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	}
 	// Packets for unknown flows (e.g. stragglers after a flow finished)
 	// are dropped silently, as a real stack would RST/ignore.
+	//
+	// Either way the packet's life ends here: handlers copy what they
+	// keep (no transport retains the pointer past Handle), so it can go
+	// back on the free-list. Packets dropped mid-fabric simply fall to
+	// the GC.
+	if h.pool != nil {
+		h.pool.Put(pkt)
+	}
 }

@@ -1,0 +1,45 @@
+package packet
+
+// Pool is a free-list for Packet allocations on the simulation hot path.
+// Hosts draw outbound packets from it and recycle inbound packets once
+// the transport handler returns, so steady-state traffic reuses a small
+// working set of structs instead of pressuring the GC with one
+// allocation per segment and ACK.
+//
+// A Pool belongs to exactly one simulation (one *sim.Sim event loop) and
+// is NOT safe for concurrent use; parallel experiment runs each build
+// their own network and therefore their own pool.
+type Pool struct {
+	free []*Packet
+
+	// News counts fresh heap allocations, Reuses recycled ones; their
+	// ratio is the pool hit rate reported by benchmarks.
+	News   uint64
+	Reuses uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet, recycling a freed one when available.
+func (p *Pool) Get() *Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.Reuses++
+		return pkt
+	}
+	p.News++
+	return &Packet{}
+}
+
+// Put recycles pkt. The struct is fully zeroed — including the Sack and
+// INT slice headers — so no stale field leaks into the next Get and any
+// backing array still aliased by an in-flight reader (an HPCC ACK echoes
+// the data packet's INT slice; trace events copy slice headers) remains
+// solely theirs: the pool never reuses slice capacity.
+func (p *Pool) Put(pkt *Packet) {
+	*pkt = Packet{}
+	p.free = append(p.free, pkt)
+}

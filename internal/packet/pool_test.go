@@ -1,0 +1,49 @@
+package packet
+
+import "testing"
+
+func TestPoolRecyclesZeroed(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	if p.News != 1 || p.Reuses != 0 {
+		t.Fatalf("counters after first Get: news=%d reuses=%d", p.News, p.Reuses)
+	}
+	a.Flow = 7
+	a.Type = Ack
+	a.Sack = []SackBlock{{0, 10}}
+	a.INT = []INTHop{{QueueBytes: 1}}
+	sack := a.Sack
+	p.Put(a)
+
+	b := p.Get()
+	if b != a {
+		t.Fatal("Get did not reuse the freed packet")
+	}
+	if p.Reuses != 1 {
+		t.Fatalf("reuses = %d, want 1", p.Reuses)
+	}
+	if b.Flow != 0 || b.Type != Data || b.Sack != nil || b.INT != nil {
+		t.Fatalf("recycled packet not zeroed: %+v", b)
+	}
+	// The old backing array must be untouched: an in-flight alias (trace
+	// event, echoed INT) may still read it.
+	if sack[0].End != 10 {
+		t.Fatalf("freed packet's slice backing array was mutated: %+v", sack)
+	}
+}
+
+func TestPoolLIFO(t *testing.T) {
+	p := NewPool()
+	a, b := p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b)
+	if got := p.Get(); got != b {
+		t.Fatal("expected LIFO reuse of most recently freed packet")
+	}
+	if got := p.Get(); got != a {
+		t.Fatal("expected second Get to return the older freed packet")
+	}
+	if p.News != 2 || p.Reuses != 2 {
+		t.Fatalf("counters: news=%d reuses=%d", p.News, p.Reuses)
+	}
+}

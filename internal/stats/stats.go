@@ -38,6 +38,13 @@ func (r *FlowRecord) FCT() sim.Time { return r.End - r.Flow.Start }
 type Recorder struct {
 	Flows []*FlowRecord
 
+	// arena is the current FlowRecord allocation chunk. Records are
+	// handed out as pointers into it, so a chunk is never grown in
+	// place (that would move live records): when full, a fresh chunk
+	// replaces it and the old one stays alive through Flows. This turns
+	// one allocation per flow into one per arenaChunk flows.
+	arena []FlowRecord
+
 	// DeliverySamples optionally collects per-segment delivery times
 	// (first transmission to acknowledgment), for Fig. 16.
 	DeliverySamples *Reservoir
@@ -47,12 +54,30 @@ type Recorder struct {
 	RTOSamplesFG, RTOSamplesBG *Reservoir
 }
 
+// arenaChunk is the FlowRecord arena granularity.
+const arenaChunk = 512
+
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// NewFlowRecord registers a flow and returns its record.
+// Reserve pre-sizes the recorder for n flows, so a run with a known flow
+// count pays one Flows allocation and ⌈n/arenaChunk⌉ record chunks.
+func (rec *Recorder) Reserve(n int) {
+	if cap(rec.Flows)-len(rec.Flows) < n {
+		flows := make([]*FlowRecord, len(rec.Flows), len(rec.Flows)+n)
+		copy(flows, rec.Flows)
+		rec.Flows = flows
+	}
+}
+
+// NewFlowRecord registers a flow and returns its record. The record is
+// pointer-stable for the recorder's lifetime.
 func (rec *Recorder) NewFlowRecord(f *transport.Flow) *FlowRecord {
-	fr := &FlowRecord{Flow: f}
+	if len(rec.arena) == cap(rec.arena) {
+		rec.arena = make([]FlowRecord, 0, arenaChunk)
+	}
+	rec.arena = append(rec.arena, FlowRecord{Flow: f})
+	fr := &rec.arena[len(rec.arena)-1]
 	rec.Flows = append(rec.Flows, fr)
 	return fr
 }
@@ -153,6 +178,17 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile for already-sorted input; it neither
+// copies nor sorts, so repeated quantile queries over the same data (the
+// figure folds ask for p99.9, p99 and the mean of one run's FCTs) can
+// sort once and share the slice.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tlt/internal/packet"
 	"tlt/internal/sim"
 	"tlt/internal/transport"
 )
@@ -171,5 +172,39 @@ func TestFmtDur(t *testing.T) {
 		if got := FmtDur(c.in); got != c.want {
 			t.Errorf("FmtDur(%v) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+// Arena chunks must never move a live record: every pointer handed out
+// by NewFlowRecord stays valid (and writable) across chunk turnover.
+func TestFlowRecordArenaPointerStable(t *testing.T) {
+	rec := NewRecorder()
+	rec.Reserve(3 * arenaChunk / 2)
+	var frs []*FlowRecord
+	for i := 0; i < 3*arenaChunk/2; i++ {
+		fr := rec.NewFlowRecord(&transport.Flow{ID: packet.FlowID(i + 1)})
+		fr.Timeouts = i
+		frs = append(frs, fr)
+	}
+	for i, fr := range frs {
+		if rec.Flows[i] != fr {
+			t.Fatalf("record %d moved", i)
+		}
+		if fr.Flow.ID != packet.FlowID(i+1) || fr.Timeouts != i {
+			t.Fatalf("record %d corrupted: %+v", i, fr)
+		}
+	}
+}
+
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	sorted := []float64{1, 2, 3, 4, 5}
+	for _, p := range []float64{0, 0.2, 0.5, 0.99, 1} {
+		if a, b := Percentile(xs, p), PercentileSorted(sorted, p); a != b {
+			t.Fatalf("p=%v: Percentile=%v PercentileSorted=%v", p, a, b)
+		}
+	}
+	if !math.IsNaN(PercentileSorted(nil, 0.5)) {
+		t.Fatal("empty input must yield NaN")
 	}
 }

@@ -15,6 +15,9 @@ type Network struct {
 	Sim      *sim.Sim
 	Hosts    []*fabric.Host
 	Switches []*fabric.Switch
+	// Pool is the packet free-list shared by every host of this network
+	// (one per simulation; the event loop is single-threaded).
+	Pool *packet.Pool
 	// Txs lists every fabric-side transmitter (switch→switch and
 	// switch→host and host→switch), for pause-time accounting.
 	Txs         []*fabric.Tx
@@ -84,12 +87,14 @@ func DefaultLeafSpine(delay sim.Time) LeafSpineConfig {
 
 // LeafSpine builds the fabric and installs ECMP routing.
 func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
-	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps}
+	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps, Pool: packet.NewPool()}
 	numHosts := cfg.Tors * cfg.HostsPerTor
 	rng := sim.NewRNG(0x7a17 + cfg.SeedSalt)
 
 	for h := 0; h < numHosts; h++ {
-		n.Hosts = append(n.Hosts, fabric.NewHost(s, packet.NodeID(h)))
+		host := fabric.NewHost(s, packet.NodeID(h))
+		host.SetPool(n.Pool)
+		n.Hosts = append(n.Hosts, host)
 	}
 	torID := func(t int) packet.NodeID { return packet.NodeID(1000 + t) }
 	spineID := func(c int) packet.NodeID { return packet.NodeID(2000 + c) }
@@ -160,7 +165,7 @@ type StarConfig struct {
 
 // Star builds an N-host single switch network.
 func Star(s *sim.Sim, cfg StarConfig) *Network {
-	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps}
+	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps, Pool: packet.NewPool()}
 	rng := sim.NewRNG(0x57a6 + cfg.SeedSalt)
 	sc := cfg.Switch
 	sc.Ports = cfg.Hosts
@@ -168,6 +173,7 @@ func Star(s *sim.Sim, cfg StarConfig) *Network {
 	n.Switches = []*fabric.Switch{sw}
 	for h := 0; h < cfg.Hosts; h++ {
 		host := fabric.NewHost(s, packet.NodeID(h))
+		host.SetPool(n.Pool)
 		n.Hosts = append(n.Hosts, host)
 		a, b := fabric.Connect(s, host, 0, sw, h, cfg.LinkRateBps, cfg.LinkDelay)
 		n.Txs = append(n.Txs, a, b)
@@ -191,7 +197,7 @@ type DumbbellConfig struct {
 // Dumbbell builds the two-switch topology. Hosts 0..LeftHosts-1 attach to
 // the left switch; the rest to the right switch.
 func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
-	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps}
+	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps, Pool: packet.NewPool()}
 	rng := sim.NewRNG(0xd0bb + cfg.SeedSalt)
 	lc := cfg.Switch
 	lc.Ports = cfg.LeftHosts + 1
@@ -204,6 +210,7 @@ func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
 	total := cfg.LeftHosts + cfg.RightHosts
 	for h := 0; h < total; h++ {
 		host := fabric.NewHost(s, packet.NodeID(h))
+		host.SetPool(n.Pool)
 		n.Hosts = append(n.Hosts, host)
 		if h < cfg.LeftHosts {
 			a, b := fabric.Connect(s, host, 0, left, h, cfg.LinkRateBps, cfg.LinkDelay)

@@ -8,11 +8,13 @@ import (
 	"tlt/internal/sim"
 )
 
+// capture retains packets past Handle, so it must copy: the host
+// recycles the delivered packet once Handle returns.
 type capture struct {
-	got []*packet.Packet
+	got []packet.Packet
 }
 
-func (c *capture) Handle(p *packet.Packet) { c.got = append(c.got, p) }
+func (c *capture) Handle(p *packet.Packet) { c.got = append(c.got, *p) }
 
 func defaultLS(s *sim.Sim) *Network {
 	cfg := DefaultLeafSpine(10 * sim.Microsecond)

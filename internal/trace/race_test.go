@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tlt/internal/fabric"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/topo"
+	"tlt/internal/transport"
+	"tlt/internal/transport/tcp"
+)
+
+// runTracedSim drives one small independent simulation with tr attached —
+// the moral equivalent of one RunGrid cell.
+func runTracedSim(tr *Tracer, seed int64) error {
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts: 2, LinkRateBps: 40e9, LinkDelay: sim.Microsecond,
+		Switch: fabric.SwitchConfig{BufferBytes: 1 << 20},
+	})
+	tr.AttachAll(n.Hosts)
+	rec := stats.NewRecorder()
+	f := &transport.Flow{ID: 7, Src: 0, Dst: 1, Size: 20_000, Start: sim.Time(seed) * sim.Microsecond}
+	tcp.StartFlow(s, n.Hosts[0], n.Hosts[1], f, tcp.DefaultConfig(), rec, nil)
+	s.RunAll()
+	if !rec.Flows[0].Done {
+		return fmt.Errorf("flow incomplete in traced sim %d", seed)
+	}
+	return nil
+}
+
+// Two simulations sharing one Tracer from two goroutines must be free of
+// data races (run under -race) — the concurrency shape the parallel run
+// executor produces. Deterministic traces still want a Tracer per sim;
+// this only guarantees memory safety.
+func TestTracerSharedAcrossConcurrentSims(t *testing.T) {
+	tr := New(64)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runTracedSim(tr, int64(i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() == 0 {
+		t.Fatal("shared tracer recorded nothing")
+	}
+	if got := len(tr.Events()); got > 64 {
+		t.Fatalf("ring exceeded capacity: %d", got)
+	}
+}

@@ -56,6 +56,14 @@ func (e Event) String() string {
 
 // Tracer collects events from any number of hosts. A zero capacity keeps
 // everything; otherwise it keeps the most recent capacity events (ring).
+//
+// There is no package-level state: each Tracer instance guards its ring
+// (and optional stream writer) with its own mutex, so independent
+// concurrent simulations — e.g. grid cells run by experiments.RunGrid —
+// can each use their own Tracer, or even share one, without data races.
+// Interleaving across sims sharing a Tracer is scheduling-dependent, so
+// deterministic traces need one Tracer per sim. FlowFilter is read
+// without the lock: set it before the run starts, not while tracing.
 type Tracer struct {
 	mu     sync.Mutex
 	cap    int

@@ -128,11 +128,13 @@ func TestIRNRTOLowNotCountedAsTimeout(t *testing.T) {
 	}
 }
 
+// blackhole retains packets past Handle, so it must copy: the host
+// recycles the delivered packet once Handle returns.
 type blackhole struct {
-	got []*packet.Packet
+	got []packet.Packet
 }
 
-func (b *blackhole) Handle(p *packet.Packet) { b.got = append(b.got, p) }
+func (b *blackhole) Handle(p *packet.Packet) { b.got = append(b.got, *p) }
 
 func (b *blackhole) sentAt(psn int64, nth int) sim.Time {
 	seen := 0

@@ -85,7 +85,8 @@ func (r *Receiver) maybeCnp() {
 	}
 	r.cnpPrimed = true
 	r.lastCnp = now
-	cnp := &packet.Packet{
+	cnp := r.host.NewPacket()
+	*cnp = packet.Packet{
 		Flow: r.flow.ID, Dst: r.flow.Src,
 		Type: packet.Cnp,
 		Mark: r.controlMark(),
@@ -108,7 +109,8 @@ func (r *Receiver) handleGBN(pkt *packet.Packet) {
 		// Out of order: drop payload, NACK once per expected PSN.
 		if r.lastNackFor != r.expected {
 			r.lastNackFor = r.expected
-			nack := &packet.Packet{
+			nack := r.host.NewPacket()
+			*nack = packet.Packet{
 				Flow: r.flow.ID, Dst: r.flow.Src,
 				Type: packet.Nack,
 				Ack:  r.expected,
@@ -154,13 +156,15 @@ func (r *Receiver) buildAck(cum int64, blocks []packet.SackBlock, mark packet.Ma
 	if mark == packet.Mark(0) {
 		mark = r.controlMark()
 	}
-	return &packet.Packet{
+	ack := r.host.NewPacket()
+	*ack = packet.Packet{
 		Flow: r.flow.ID, Dst: r.flow.Src,
 		Type: packet.Ack,
 		Ack:  cum,
 		Sack: blocks,
 		Mark: mark,
 	}
+	return ack
 }
 
 func (r *Receiver) send(pkt *packet.Packet) {

@@ -222,7 +222,8 @@ func (s *Sender) transmit(psn int64, isRetx bool, markOverride packet.Mark) {
 		mark = s.tltWin.TakeMark(!more, now)
 	}
 
-	pkt := &packet.Packet{
+	pkt := s.host.NewPacket()
+	*pkt = packet.Packet{
 		Flow: s.flow.ID, Dst: s.flow.Dst,
 		Type: packet.Data,
 		Seq:  psn, Len: length,

@@ -289,7 +289,8 @@ func (s *Sender) transmit(psn int64, isRetx bool, mark packet.Mark) {
 	if last {
 		length = s.lastLen
 	}
-	pkt := &packet.Packet{
+	pkt := s.host.NewPacket()
+	*pkt = packet.Packet{
 		Flow: s.flow.ID, Dst: s.flow.Dst,
 		Type: packet.Data,
 		Seq:  psn, Len: length,

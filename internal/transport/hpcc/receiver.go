@@ -59,7 +59,11 @@ func (r *Receiver) Handle(pkt *packet.Packet) {
 	if !r.cfg.TLT.Enabled {
 		mark = packet.Unimportant
 	}
-	ack := &packet.Packet{
+	// The ACK aliases the data packet's INT slice; that stays safe under
+	// packet recycling because Pool.Put drops slice headers without ever
+	// reusing their backing arrays.
+	ack := r.host.NewPacket()
+	*ack = packet.Packet{
 		Flow: r.flow.ID, Dst: r.flow.Src,
 		Type: packet.Ack,
 		Ack:  r.cum,

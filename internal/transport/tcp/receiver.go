@@ -53,7 +53,8 @@ func (r *Receiver) Handle(pkt *packet.Packet) {
 		r.received.TrimBelow(r.rcvNxt)
 	}
 
-	ack := &packet.Packet{
+	ack := r.host.NewPacket()
+	*ack = packet.Packet{
 		Flow: r.flow.ID, Dst: r.flow.Src,
 		Type: packet.Ack,
 		TC:   r.cfg.TrafficClass,

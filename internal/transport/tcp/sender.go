@@ -552,7 +552,8 @@ func (s *Sender) transmitSeg(i int, isRetx bool, mark packet.Mark) {
 		}
 		s.rec.RetxPackets++
 	}
-	pkt := &packet.Packet{
+	pkt := s.host.NewPacket()
+	*pkt = packet.Packet{
 		Flow: s.flow.ID, Dst: s.flow.Dst,
 		Type: packet.Data,
 		TC:   s.cfg.TrafficClass,
@@ -627,7 +628,8 @@ func (s *Sender) importantClock() {
 		s.transmitSeg(i, false, s.tlt.TakeClockMark(now))
 		return
 	}
-	pkt := &packet.Packet{
+	pkt := s.host.NewPacket()
+	*pkt = packet.Packet{
 		Flow: s.flow.ID, Dst: s.flow.Dst,
 		Type: packet.Data,
 		TC:   s.cfg.TrafficClass,
