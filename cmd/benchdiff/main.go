@@ -1,0 +1,109 @@
+// Command benchdiff compares two bench artifacts (BENCH_*.json, written
+// by tltsim -bench-out) and fails when event throughput regressed beyond
+// a threshold. CI runs it against the committed per-PR baseline so a
+// scheduler or data-plane slowdown breaks the build instead of landing
+// silently:
+//
+//	tltsim -exp fig5 -bg 60 -seeds 1 -points 2 -bench-out BENCH_ci.json
+//	benchdiff -max-regress 0.20 BENCH_pr4.json BENCH_ci.json
+//
+// Records are matched by (experiment, procs). Experiments present in
+// only one file are reported but do not fail the comparison; hosts
+// differ, so only relative throughput on the same machine is judged.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tlt/internal/experiments"
+)
+
+func load(path string) (*experiments.BenchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f experiments.BenchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+type key struct {
+	exp   string
+	procs int
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"fail when events/sec drops by more than this fraction vs baseline")
+	expFilter := flag.String("exp", "", "compare only this experiment (empty = all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseBy := map[key]experiments.BenchRecord{}
+	for _, r := range base.Records {
+		baseBy[key{r.Experiment, r.Procs}] = r
+	}
+
+	fmt.Printf("%-16s %6s %14s %14s %8s\n",
+		"experiment", "procs", "base ev/s", "cur ev/s", "ratio")
+	failed := false
+	compared := 0
+	for _, r := range cur.Records {
+		if *expFilter != "" && r.Experiment != *expFilter {
+			continue
+		}
+		b, ok := baseBy[key{r.Experiment, r.Procs}]
+		if !ok {
+			fmt.Printf("%-16s %6d %14s %14.0f %8s\n",
+				r.Experiment, r.Procs, "(new)", r.EventsPerSec, "-")
+			continue
+		}
+		if b.EventsPerSec <= 0 {
+			continue
+		}
+		compared++
+		ratio := r.EventsPerSec / b.EventsPerSec
+		mark := ""
+		if ratio < 1-*maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-16s %6d %14.0f %14.0f %7.2fx%s\n",
+			r.Experiment, r.Procs, b.EventsPerSec, r.EventsPerSec, ratio, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping records to compare")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: throughput regressed more than %.0f%% vs %s\n",
+			*maxRegress*100, flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d record(s) within %.0f%% of baseline\n", compared, *maxRegress*100)
+}

@@ -20,6 +20,15 @@ type BenchRecord struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerCell  float64 `json:"allocs_per_cell"`
 	AllocMBPerCell float64 `json:"alloc_mb_per_cell"`
+
+	// Scheduler-internal counters aggregated over the grid. DeadPops is
+	// the key health metric: cancelled timers that still paid a heap pop
+	// (queue pollution the dead-timer reclamation failed to absorb).
+	DeadPops      uint64 `json:"dead_pops"`
+	DeadReclaimed uint64 `json:"dead_reclaimed"`
+	Cascades      uint64 `json:"cascades"`
+	Compactions   uint64 `json:"compactions"`
+	HeapMax       int    `json:"heap_max"`
 }
 
 // BenchFile is the on-disk artifact format (BENCH_<tag>.json): the host
@@ -48,13 +57,19 @@ func MeasureEntry(e Entry, scale Scale) (BenchRecord, *Report) {
 	runtime.ReadMemStats(&after)
 
 	cells, events := rep.GridStats()
+	sched := rep.SchedStats()
 	rec := BenchRecord{
-		Experiment:  e.ID,
-		Procs:       Procs(),
-		Cells:       cells,
-		Rows:        len(rep.Rows),
-		WallSeconds: wall,
-		Events:      events,
+		Experiment:    e.ID,
+		Procs:         Procs(),
+		Cells:         cells,
+		Rows:          len(rep.Rows),
+		WallSeconds:   wall,
+		Events:        events,
+		DeadPops:      sched.DeadPops,
+		DeadReclaimed: sched.DeadReclaimed,
+		Cascades:      sched.Cascades,
+		Compactions:   sched.Compactions,
+		HeapMax:       sched.HeapMax,
 	}
 	if wall > 0 {
 		rec.EventsPerSec = float64(events) / wall

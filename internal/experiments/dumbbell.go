@@ -144,7 +144,7 @@ func runDumbbell(tlt bool, fgFlows int, seed int64) *Result {
 		pausedTotal += tx.PausedTotal
 	}
 	ctr := n.Counters()
-	return &Result{Rec: rec, EventsRun: s.Processed, App: &dumbbellResult{
+	return &Result{Rec: rec, EventsRun: s.Processed, Sched: s.Sched, App: &dumbbellResult{
 		pausedTime:   pausedTotal,
 		bgGoodputBps: float64(bgDuring) * 8 / window.Seconds(),
 		fgP99:        stats.Percentile(rec.Select(true), 0.99),

@@ -80,7 +80,7 @@ func Fig12(scale Scale) *Report {
 					cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
 					rts := cl.RunSetBurst(reqs, sim.Time(rc.Seed)*sim.Microsecond)
 					s.Run(5 * sim.Second)
-					res := &Result{Rec: rec, EventsRun: s.Processed}
+					res := &Result{Rec: rec, EventsRun: s.Processed, Sched: s.Sched}
 					xs := durSecs(rts)
 					if len(xs) != reqs {
 						res.Notef("%s flows=%d seed=%d: only %d/%d requests completed", v.Name(), reqs, rc.Seed, len(xs), reqs)
@@ -141,7 +141,7 @@ func Fig13(scale Scale) *Report {
 				cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
 				mr := cl.RunMixed(152, n.Hosts[0], 8_000_000, 0)
 				s.Run(5 * sim.Second)
-				return &Result{Rec: rec, EventsRun: s.Processed, App: mixedCell{
+				return &Result{Rec: rec, EventsRun: s.Processed, Sched: s.Sched, App: mixedCell{
 					p99:        stats.Percentile(durSecs(mr.FgRTs), 0.99),
 					goodput:    mr.BgGoodput * 8 / 1e9,
 					bgComplete: mr.BgComplete,
@@ -229,14 +229,14 @@ type incastResult struct {
 // arrive through the resolved RunConfig.
 func incastCell(v Variant, flowsN int) func(rc RunConfig) *Result {
 	return func(rc RunConfig) *Result {
-		ir, events, rec := runIncastStar(v, flowsN, rc.Seed, rc.Audit)
-		return &Result{Rec: rec, EventsRun: events, App: ir}
+		ir, events, sched, rec := runIncastStar(v, flowsN, rc.Seed, rc.Audit)
+		return &Result{Rec: rec, EventsRun: events, Sched: sched, App: ir}
 	}
 }
 
 // runIncastStar starts flowsN synchronized 32 kB flows from 8 servers to
 // one client on the testbed star.
-func runIncastStar(v Variant, flowsN int, seed int64, auditOn bool) (*incastResult, uint64, *stats.Recorder) {
+func runIncastStar(v Variant, flowsN int, seed int64, auditOn bool) (*incastResult, uint64, sim.SchedStats, *stats.Recorder) {
 	s, n := testbedStar(v, 9, auditOn)
 	rec := stats.NewRecorder()
 	cfg := v.tcpConfig()
@@ -253,7 +253,7 @@ func runIncastStar(v Variant, flowsN int, seed int64, auditOn bool) (*incastResu
 		tcp.StartFlow(s, src, n.Hosts[0], f, cfg, rec, nil)
 	}
 	s.Run(10 * sim.Second)
-	return &incastResult{fcts: rec.Select(true), timeouts: rec.TimeoutsAll()}, s.Processed, rec
+	return &incastResult{fcts: rec.Select(true), timeouts: rec.TimeoutsAll()}, s.Processed, s.Sched, rec
 }
 
 // Fig14CDF prints the FCT distribution at a fixed fan-out (Figure 14c).

@@ -194,6 +194,7 @@ func (sw *sweep) exec() {
 		}
 		sw.rep.Notes = append(sw.rep.Notes, r.Notes...)
 		sw.rep.events += r.EventsRun
+		sw.rep.sched.Add(&r.Sched)
 	}
 }
 

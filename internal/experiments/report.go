@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"tlt/internal/sim"
 )
 
 // Report is a rendered experiment result.
@@ -21,6 +23,7 @@ type Report struct {
 	// pipeline; not part of the rendered report.
 	cells  int
 	events uint64
+	sched  sim.SchedStats
 }
 
 // GridStats returns how many grid cells produced this report and the
@@ -28,6 +31,11 @@ type Report struct {
 func (r *Report) GridStats() (cells int, events uint64) {
 	return r.cells, r.events
 }
+
+// SchedStats returns the aggregated scheduler-internal counters of every
+// grid cell behind this report (dead-timer pops/reclamations, cascades,
+// overflow-heap pressure).
+func (r *Report) SchedStats() sim.SchedStats { return r.sched }
 
 // AddRow appends a formatted row.
 func (r *Report) AddRow(cells ...string) {

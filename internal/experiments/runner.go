@@ -64,16 +64,19 @@ func (rc RunConfig) label() string {
 
 // Result aggregates everything a figure needs from one run.
 type Result struct {
-	Rec         *stats.Recorder
-	Ctr         fabric.Counters
-	PausedFrac  float64
-	Elapsed     sim.Time
-	FlowCount   int
-	Incomplete  int
-	MaxQ        int64     // max egress queue across the fabric
-	MaxRedQ     int64     // max red (unimportant) occupancy
-	QSamples    []float64 // sampled max-queue time series (bytes)
-	EventsRun   uint64
+	Rec        *stats.Recorder
+	Ctr        fabric.Counters
+	PausedFrac float64
+	Elapsed    sim.Time
+	FlowCount  int
+	Incomplete int
+	MaxQ       int64     // max egress queue across the fabric
+	MaxRedQ    int64     // max red (unimportant) occupancy
+	QSamples   []float64 // sampled max-queue time series (bytes)
+	EventsRun  uint64
+	// Sched carries the run's scheduler-internal counters (dead-timer
+	// pops and reclamations, cascades, overflow-heap pressure).
+	Sched       sim.SchedStats
 	TrafficLast sim.Time // last flow arrival
 
 	// Faults aggregates injected-fault activity and audit findings.
@@ -255,6 +258,7 @@ func Run(rc RunConfig) *Result {
 		Incomplete:  remaining,
 		QSamples:    qSamples,
 		EventsRun:   s.Processed,
+		Sched:       s.Sched,
 		TrafficLast: last,
 	}
 	for _, sw := range net.Switches {

@@ -57,6 +57,14 @@ func (g *geLoss) drop() bool {
 }
 
 // Wire is a unidirectional propagation-delay element between two ports.
+//
+// Each in-flight packet rides one pooled scheduler node with a stored
+// monomorphic handler, so the arrival path allocates nothing. A fully
+// fused single arrival event per wire (a FIFO of in-flight packets behind
+// one self-rescheduling event) was tried and rejected: it assigns event
+// sequence numbers at re-schedule time instead of hand-off time, which
+// permutes same-instant arrivals relative to the seed scheduler and
+// breaks the byte-identical-reports contract.
 type Wire struct {
 	sim    *sim.Sim
 	delay  sim.Time
@@ -101,7 +109,10 @@ func newWire(s *sim.Sim, delay sim.Time, to Device, toPort int) *Wire {
 }
 
 // Deliver schedules arrival of a fully-serialized packet after the
-// propagation delay (store-and-forward at the next hop).
+// propagation delay (store-and-forward at the next hop). The node is
+// taken from the scheduler pool and the sequence number is assigned here,
+// at hand-off time, which is what keeps same-instant arrival order
+// byte-identical to the seed scheduler.
 func (w *Wire) Deliver(pkt *packet.Packet) {
 	if w.down {
 		w.DownDropped++
@@ -148,9 +159,14 @@ type Tx struct {
 	// by switches to stamp INT telemetry).
 	onTransmit func(*packet.Packet)
 
-	cur       *packet.Packet // packet currently serializing
-	serDoneFn func()         // stored completion callback
+	cur *packet.Packet // packet currently serializing
+	ev  *sim.Event     // preallocated serialization-done event
 }
+
+// txSerDone is the monomorphic handler behind every Tx's preallocated
+// event: one self-rescheduling event per port direction drives the whole
+// serialization pipeline without allocating.
+func txSerDone(a any) { a.(*Tx).serDone() }
 
 // blocked reports whether the transmitter may not start a new frame.
 func (tx *Tx) blocked() bool { return tx.paused || tx.down || tx.frozen }
@@ -174,7 +190,7 @@ func (tx *Tx) startNext() {
 	}
 	tx.busy = true
 	tx.cur = pkt
-	tx.sim.Post(tx.sim.Now()+SerTime(size, tx.RateBps), tx.serDoneFn)
+	tx.sim.Schedule(tx.ev, tx.sim.Now()+SerTime(size, tx.RateBps))
 }
 
 func (tx *Tx) serDone() {
@@ -327,8 +343,8 @@ func (tx *Tx) DeliverControl(pkt *packet.Packet) {
 func Connect(s *sim.Sim, a Device, ap int, b Device, bp int, rateBps int64, delay sim.Time) (atx, btx *Tx) {
 	atx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, b, bp)}
 	btx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, a, ap)}
-	atx.serDoneFn = atx.serDone
-	btx.serDoneFn = btx.serDone
+	atx.ev = s.NewEvent(txSerDone, atx)
+	btx.ev = s.NewEvent(txSerDone, btx)
 	a.attach(ap, atx)
 	b.attach(bp, btx)
 	return atx, btx

@@ -4,10 +4,13 @@
 // instant fire in FIFO order of scheduling, which keeps runs fully
 // deterministic for a given seed and call sequence.
 //
-// The scheduler is a value-based 4-ary heap: the hot path (packet
-// serialization and propagation events) allocates nothing beyond what the
-// caller captures, which matters when runs process tens of millions of
-// events.
+// The scheduler is a hierarchical timing wheel (wheel.go) backed by a
+// 4-ary overflow heap for far-out timers: the hot path (packet
+// serialization and propagation events) schedules and pops in O(1) from
+// pooled intrusive nodes, which matters when runs process tens of
+// millions of events. Cancelled timers are reclaimed immediately when
+// wheel-resident and compacted away when heap-resident, so dead events
+// do not pollute the queue.
 package sim
 
 import "fmt"
@@ -47,50 +50,76 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis returns the time as a floating-point number of milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// timerState is the cancellable handle state shared between a Timer and
-// its scheduled event.
-type timerState struct {
-	dead  bool
-	fired bool
+// Timer is a cancellable handle to a scheduled event. It is a value: the
+// zero Timer is inert, and handles stay safe after the event fires or the
+// node is reused because the event's seq acts as a generation counter —
+// a handle whose seq no longer matches its node is simply stale.
+type Timer struct {
+	ev  *Event
+	seq uint64
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ts *timerState }
-
-// Stop cancels the timer. It is safe to call on a nil, already-fired, or
+// Stop cancels the timer. It is safe to call on a zero, already-fired, or
 // already-stopped timer. It reports whether the call prevented the event
-// from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ts == nil || t.ts.dead || t.ts.fired {
+// from firing. Wheel-resident timers are unlinked and reclaimed in O(1);
+// overflow-heap timers become tombstones that are compacted once they
+// outnumber live far-out events.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.seq != t.seq {
 		return false
 	}
-	t.ts.dead = true
-	return true
+	s := ev.sim
+	switch ev.where {
+	case evWheel:
+		s.unlink(ev)
+		s.live--
+		s.Sched.DeadReclaimed++
+		s.release(ev)
+		return true
+	case evHeap:
+		ev.where = evDead
+		s.live--
+		s.heapDead++
+		s.maybeCompact()
+		return true
+	}
+	return false
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ts != nil && !t.ts.dead && !t.ts.fired
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.seq == t.seq && t.ev.Scheduled()
 }
 
-type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO for equal timestamps
-
-	// Exactly one of fn / fnArg is set. fnArg avoids a closure
-	// allocation on the per-packet hot path.
-	fn    func()
-	fnArg func(any)
-	arg   any
-
-	ts *timerState // nil for uncancellable events
+// SchedStats exposes scheduler-internal counters for performance
+// accounting and regression tracking (surfaced via -bench-out).
+type SchedStats struct {
+	// DeadPops counts cancelled events that still paid a heap pop
+	// (tombstones that fired before compaction could reclaim them).
+	DeadPops uint64
+	// DeadReclaimed counts cancelled events reclaimed without a pop:
+	// O(1) wheel unlinks plus heap compaction removals.
+	DeadReclaimed uint64
+	// Cascades counts events re-binned when the cursor entered their
+	// higher-level slot.
+	Cascades uint64
+	// Compactions counts overflow-heap tombstone sweeps.
+	Compactions uint64
+	// HeapMax is the overflow heap's high-water mark.
+	HeapMax int
 }
 
-func (e *event) before(o *event) bool {
-	if e.at != o.at {
-		return e.at < o.at
+// Add accumulates o into s (HeapMax takes the maximum), for aggregating
+// per-run scheduler counters across a grid.
+func (s *SchedStats) Add(o *SchedStats) {
+	s.DeadPops += o.DeadPops
+	s.DeadReclaimed += o.DeadReclaimed
+	s.Cascades += o.Cascades
+	s.Compactions += o.Compactions
+	if o.HeapMax > s.HeapMax {
+		s.HeapMax = o.HeapMax
 	}
-	return e.seq < o.seq
 }
 
 // Sim is a single-threaded discrete-event simulator.
@@ -99,10 +128,29 @@ func (e *event) before(o *event) bool {
 type Sim struct {
 	now     Time
 	seq     uint64
-	heap    []event
 	stopped bool
+
+	// wcur is the wheel cursor: the time whose wheel slots have been
+	// cascaded. It equals the time of the last executed event and never
+	// runs ahead of pending work, so horizon-bounded runs leave the
+	// wheel consistent for later schedules.
+	wcur Time
+
+	slots      [wheelLevels][wheelSlots]evList
+	bitmap     [wheelLevels][wheelSlots / 64]uint64
+	wheelCount int
+
+	heap     []heapItem
+	heapDead int
+
+	live int // scheduled, non-cancelled events
+
+	free *Event
+
 	// Processed counts events executed, for performance accounting.
 	Processed uint64
+	// Sched exposes scheduler-internal counters.
+	Sched SchedStats
 }
 
 // New returns an empty simulator positioned at time zero.
@@ -113,82 +161,97 @@ func New() *Sim {
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
-func (s *Sim) push(ev event) {
-	if ev.at < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", ev.at, s.now))
-	}
-	ev.seq = s.seq
-	s.seq++
-	s.heap = append(s.heap, ev)
-	// Sift up (4-ary).
-	i := len(s.heap) - 1
-	for i > 0 {
-		p := (i - 1) / 4
-		if !s.heap[i].before(&s.heap[p]) {
-			break
-		}
-		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
-		i = p
-	}
-}
-
-func (s *Sim) pop() event {
-	h := s.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = event{}
-	s.heap = h[:last]
-	h = s.heap
-	// Sift down (4-ary).
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= len(h) {
-			break
-		}
-		m := first
-		end := first + 4
-		if end > len(h) {
-			end = len(h)
-		}
-		for c := first + 1; c < end; c++ {
-			if h[c].before(&h[m]) {
-				m = c
+// alloc takes an event node from the pool, growing it a chunk at a time
+// so steady-state scheduling allocates nothing.
+func (s *Sim) alloc() *Event {
+	ev := s.free
+	if ev == nil {
+		chunk := make([]Event, 128)
+		for i := range chunk {
+			chunk[i].sim = s
+			if i > 0 {
+				chunk[i-1].next = &chunk[i]
 			}
 		}
-		if !h[m].before(&h[i]) {
-			break
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
+		ev = &chunk[0]
 	}
-	return top
+	s.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release returns a finished event to the pool (or just idles an external
+// one), clearing captured references so they do not leak past the fire.
+func (s *Sim) release(ev *Event) {
+	ev.where = evFree
+	if ev.ext {
+		return
+	}
+	ev.fn, ev.fnArg, ev.arg = nil, nil, nil
+	ev.prev = nil
+	ev.next = s.free
+	s.free = ev
+}
+
+// schedule stamps and places a live event. Scheduling in the past panics:
+// it indicates a model bug that would silently corrupt causality.
+func (s *Sim) schedule(ev *Event, at Time) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	s.live++
+	s.place(ev)
 }
 
 // Post schedules fn at absolute time at with no cancellation handle.
 func (s *Sim) Post(at Time, fn func()) {
-	s.push(event{at: at, fn: fn})
+	ev := s.alloc()
+	ev.fn = fn
+	s.schedule(ev, at)
 }
 
 // PostArg schedules fn(arg) at absolute time at with no cancellation
 // handle and no closure allocation.
 func (s *Sim) PostArg(at Time, fn func(any), arg any) {
-	s.push(event{at: at, fnArg: fn, arg: arg})
+	ev := s.alloc()
+	ev.fnArg = fn
+	ev.arg = arg
+	s.schedule(ev, at)
 }
 
 // At schedules fn to run at the absolute time at and returns a
-// cancellable handle. Scheduling in the past panics: it indicates a model
-// bug that would silently corrupt causality.
-func (s *Sim) At(at Time, fn func()) *Timer {
-	ts := &timerState{}
-	s.push(event{at: at, fn: fn, ts: ts})
-	return &Timer{ts: ts}
+// cancellable handle.
+func (s *Sim) At(at Time, fn func()) Timer {
+	ev := s.alloc()
+	ev.fn = fn
+	s.schedule(ev, at)
+	return Timer{ev: ev, seq: ev.seq}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (s *Sim) After(d Time, fn func()) *Timer {
+func (s *Sim) After(d Time, fn func()) Timer {
 	return s.At(s.now+d, fn)
+}
+
+// NewEvent preallocates a reusable, externally owned event bound to fn
+// and arg. Schedule queues it; it may be re-scheduled from inside its own
+// handler (self-rescheduling), and it is never taken by the node pool, so
+// per-packet hot paths built on it allocate nothing and box nothing.
+func (s *Sim) NewEvent(fn func(any), arg any) *Event {
+	return &Event{sim: s, ext: true, fnArg: fn, arg: arg}
+}
+
+// Schedule queues a preallocated event at absolute time at. Scheduling an
+// event that is already queued panics: an external event represents one
+// slot of pending work by design.
+func (s *Sim) Schedule(ev *Event, at Time) {
+	if ev.Scheduled() {
+		panic(fmt.Sprintf("sim: event already scheduled (at %v)", ev.at))
+	}
+	s.schedule(ev, at)
 }
 
 // Stop halts the run loop after the current event completes.
@@ -199,23 +262,26 @@ func (s *Sim) Stop() { s.stopped = true }
 // at exit.
 func (s *Sim) Run(until Time) Time {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		if s.heap[0].at > until {
+	for !s.stopped {
+		t, ok := s.peek()
+		if !ok || t > until {
 			break
 		}
-		ev := s.pop()
-		if ev.ts != nil {
-			if ev.ts.dead {
-				continue
-			}
-			ev.ts.fired = true
-		}
-		s.now = ev.at
+		s.advanceTo(t)
+		ev := s.slots[0][int(uint64(t))&slotMask].head
+		s.unlink(ev)
+		ev.where = evRun
+		s.live--
+		s.now = t
 		s.Processed++
 		if ev.fn != nil {
 			ev.fn()
 		} else {
 			ev.fnArg(ev.arg)
+		}
+		if ev.where == evRun {
+			// Not re-scheduled by its own handler.
+			s.release(ev)
 		}
 	}
 	return s.now
@@ -227,5 +293,5 @@ func (s *Sim) RunAll() Time {
 	return s.Run(horizon)
 }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
-func (s *Sim) Pending() int { return len(s.heap) }
+// Pending returns the number of live (scheduled, non-cancelled) events.
+func (s *Sim) Pending() int { return s.live }

@@ -121,9 +121,9 @@ func TestTimerStop(t *testing.T) {
 	if tm2.Pending() {
 		t.Fatal("fired timer still pending")
 	}
-	var nilTimer *Timer
-	if nilTimer.Stop() || nilTimer.Pending() {
-		t.Fatal("nil timer should be inert")
+	var zero Timer
+	if zero.Stop() || zero.Pending() {
+		t.Fatal("zero timer should be inert")
 	}
 }
 
@@ -153,7 +153,7 @@ func TestStopSameInstantEvent(t *testing.T) {
 	// the heap behind the canceller.
 	s := New()
 	fired := false
-	var tm *Timer
+	var tm Timer
 	s.At(10, func() { tm.Stop() })
 	tm = s.At(10, func() { fired = true })
 	s.RunAll()

@@ -1,0 +1,354 @@
+package sim
+
+import "math/bits"
+
+// The scheduler front end is a hierarchical timing wheel: four levels of
+// 256 slots each, with level-0 slots 1 ns wide. An event at absolute time
+// at is placed at the lowest level whose slot index differs from the
+// cursor's — equivalently, by the highest byte in which at and the cursor
+// disagree — so every event within ~4.29 s (2^32 ns) of the cursor lives
+// in the wheel and is scheduled and popped in O(1). Events farther out go
+// to a 4-ary overflow heap and are promoted into the wheel in batches
+// when the cursor crosses a 2^32 ns window boundary.
+//
+// Ordering guarantee: a level-0 slot is 1 ns wide, so every event in it
+// shares the same timestamp, and slot lists are appended in scheduling
+// order (ascending seq). Cascades (re-binning a higher-level slot when
+// the cursor enters it) walk the list in order and append, so they are
+// stable, and the XOR placement rule guarantees that two events for the
+// same instant are always in the same list while they wait. The firing
+// order is therefore exactly (time, seq) — byte-identical to the flat
+// heap this replaced.
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256
+	wheelLevels = 4
+	slotMask    = wheelSlots - 1
+	// wheelSpan is the horizon covered by the wheel relative to the
+	// cursor: 2^32 ns. Events at or beyond it overflow to the heap.
+	wheelSpan = uint64(1) << (wheelBits * wheelLevels)
+)
+
+// Event states. Free events are pooled (or, for external events, idle);
+// dead events are cancelled overflow-heap entries awaiting reclamation.
+const (
+	evFree uint8 = iota
+	evWheel
+	evHeap
+	evRun
+	evDead
+)
+
+// Event is one schedulable entry: an intrusive doubly-linked node when it
+// lives in a wheel slot, a leaf when it lives in the overflow heap.
+// Events are pooled by the Sim; fabric code preallocates self-rescheduling
+// events with NewEvent so the packet hot path allocates nothing.
+type Event struct {
+	at  Time
+	seq uint64
+
+	next, prev *Event
+
+	// Exactly one of fn / fnArg is set. fnArg avoids a closure
+	// allocation on the per-packet hot path.
+	fn    func()
+	fnArg func(any)
+	arg   any
+
+	sim   *Sim
+	where uint8
+	ext   bool // externally owned (NewEvent); never returned to the pool
+	level uint8
+	slot  uint8
+}
+
+// Scheduled reports whether the event is currently queued to fire.
+func (e *Event) Scheduled() bool { return e.where == evWheel || e.where == evHeap }
+
+// evList is one wheel slot: a FIFO of events in scheduling (seq) order.
+type evList struct{ head, tail *Event }
+
+// heapItem is one overflow-heap entry. The hot comparisons touch only
+// the 24-byte item, not the event.
+type heapItem struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+func (a *heapItem) before(b *heapItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// --- wheel slot bitmaps ---------------------------------------------------
+
+func (s *Sim) setBit(l, i int) { s.bitmap[l][i>>6] |= 1 << uint(i&63) }
+
+func (s *Sim) clearBit(l, i int) { s.bitmap[l][i>>6] &^= 1 << uint(i&63) }
+
+// nextBit returns the first occupied slot index >= from at level l, or -1.
+func (s *Sim) nextBit(l, from int) int {
+	w := from >> 6
+	word := s.bitmap[l][w] & (^uint64(0) << uint(from&63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= wheelSlots/64 {
+			return -1
+		}
+		word = s.bitmap[l][w]
+	}
+}
+
+// --- placement ------------------------------------------------------------
+
+// place bins a live event by the highest byte in which its time differs
+// from the cursor, or pushes it to the overflow heap when out of range.
+func (s *Sim) place(ev *Event) {
+	d := uint64(ev.at ^ s.wcur)
+	var l int
+	switch {
+	case d < 1<<wheelBits:
+		l = 0
+	case d < 1<<(2*wheelBits):
+		l = 1
+	case d < 1<<(3*wheelBits):
+		l = 2
+	case d < wheelSpan:
+		l = 3
+	default:
+		s.heapPush(ev)
+		return
+	}
+	slot := int(uint64(ev.at)>>(uint(l)*wheelBits)) & slotMask
+	ev.where, ev.level, ev.slot = evWheel, uint8(l), uint8(slot)
+	ls := &s.slots[l][slot]
+	ev.prev = ls.tail
+	ev.next = nil
+	if ls.tail != nil {
+		ls.tail.next = ev
+	} else {
+		ls.head = ev
+		s.setBit(l, slot)
+	}
+	ls.tail = ev
+	s.wheelCount++
+}
+
+// unlink removes a wheel-resident event from its slot list in O(1).
+func (s *Sim) unlink(ev *Event) {
+	ls := &s.slots[ev.level][ev.slot]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		ls.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		ls.tail = ev.prev
+	}
+	if ls.head == nil {
+		s.clearBit(int(ev.level), int(ev.slot))
+	}
+	ev.next, ev.prev = nil, nil
+	s.wheelCount--
+}
+
+// cascade re-bins every event of a higher-level slot once the cursor has
+// entered it. The walk preserves list order, so re-binning is stable.
+func (s *Sim) cascade(l, slot int) {
+	ls := &s.slots[l][slot]
+	ev := ls.head
+	if ev == nil {
+		return
+	}
+	ls.head, ls.tail = nil, nil
+	s.clearBit(l, slot)
+	for ev != nil {
+		next := ev.next
+		ev.next, ev.prev = nil, nil
+		s.wheelCount--
+		s.Sched.Cascades++
+		s.place(ev)
+		ev = next
+	}
+}
+
+// peek returns the earliest pending (time), without committing the cursor.
+// It never moves wheel state, so Run can stop at a horizon and leave
+// everything where later schedules expect it.
+func (s *Sim) peek() (Time, bool) {
+	if s.wheelCount > 0 {
+		cur := uint64(s.wcur)
+		if i := s.nextBit(0, int(cur)&slotMask); i >= 0 {
+			return Time(cur&^slotMask | uint64(i)), true
+		}
+		for l := 1; l < wheelLevels; l++ {
+			shift := uint(l) * wheelBits
+			i := s.nextBit(l, int(cur>>shift)&slotMask)
+			if i < 0 {
+				continue
+			}
+			// The slot spans 2^(8l) ns; its list is in seq order, so
+			// the first event holding the minimum time is the winner.
+			min := s.slots[l][i].head.at
+			for ev := s.slots[l][i].head.next; ev != nil; ev = ev.next {
+				if ev.at < min {
+					min = ev.at
+				}
+			}
+			return min, true
+		}
+		panic("sim: wheel count out of sync")
+	}
+	for len(s.heap) > 0 {
+		if s.heap[0].ev.where == evDead {
+			it := s.heapPop()
+			s.Sched.DeadPops++
+			s.heapDead--
+			s.release(it.ev)
+			continue
+		}
+		return s.heap[0].at, true
+	}
+	return 0, false
+}
+
+// advanceTo commits the cursor to t, the time of the next event to run:
+// it promotes the overflow heap when crossing a wheel-span boundary and
+// cascades the higher-level slots t lives under. Must only be called
+// with t ≥ wcur and t equal to a pending event's time.
+func (s *Sim) advanceTo(t Time) {
+	d := uint64(t ^ s.wcur)
+	s.wcur = t
+	if d < 1<<wheelBits {
+		return
+	}
+	if d >= wheelSpan {
+		// The wheel is empty (t came from the heap); enter t's window.
+		s.promoteHeap()
+	}
+	if d >= 1<<(3*wheelBits) {
+		s.cascade(3, int(uint64(t)>>(3*wheelBits))&slotMask)
+	}
+	if d >= 1<<(2*wheelBits) {
+		s.cascade(2, int(uint64(t)>>(2*wheelBits))&slotMask)
+	}
+	s.cascade(1, int(uint64(t)>>wheelBits)&slotMask)
+}
+
+// promoteHeap moves every overflow-heap event in the cursor's 2^32 ns
+// window into the wheel. Pops come out in (time, seq) order and placement
+// appends, so promotion is stable.
+func (s *Sim) promoteHeap() {
+	win := uint64(s.wcur) >> (wheelBits * wheelLevels)
+	for len(s.heap) > 0 {
+		top := &s.heap[0]
+		if top.ev.where == evDead {
+			it := s.heapPop()
+			s.Sched.DeadPops++
+			s.heapDead--
+			s.release(it.ev)
+			continue
+		}
+		if uint64(top.at)>>(wheelBits*wheelLevels) != win {
+			break
+		}
+		it := s.heapPop()
+		s.place(it.ev)
+	}
+}
+
+// --- overflow heap --------------------------------------------------------
+
+func (s *Sim) heapPush(ev *Event) {
+	ev.where = evHeap
+	h := append(s.heap, heapItem{at: ev.at, seq: ev.seq, ev: ev})
+	s.heap = h
+	if n := len(h); n > s.Sched.HeapMax {
+		s.Sched.HeapMax = n
+	}
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *Sim) heapPop() heapItem {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = heapItem{}
+	s.heap = h[:last]
+	s.siftDown(0)
+	return top
+}
+
+func (s *Sim) siftDown(i int) {
+	h := s.heap
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(&h[m]) {
+				m = c
+			}
+		}
+		if !h[m].before(&h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// maybeCompact reclaims cancelled overflow-heap entries once tombstones
+// dominate: it filters the live items and re-heapifies in O(n), so churny
+// far-out timers cannot pollute the heap indefinitely.
+func (s *Sim) maybeCompact() {
+	if s.heapDead < compactMinDead || s.heapDead*2 < len(s.heap) {
+		return
+	}
+	live := s.heap[:0]
+	for _, it := range s.heap {
+		if it.ev.where == evDead {
+			s.Sched.DeadReclaimed++
+			s.release(it.ev)
+			continue
+		}
+		live = append(live, it)
+	}
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = heapItem{}
+	}
+	s.heap = live
+	s.heapDead = 0
+	for i := (len(live) - 2) / 4; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.Sched.Compactions++
+}
+
+// compactMinDead is the tombstone floor below which compaction is not
+// worth the O(n) pass.
+const compactMinDead = 64

@@ -33,12 +33,12 @@ type Sender struct {
 	alpha        float64
 	stage        int
 	bytesCtr     int64
-	rpTimer      *sim.Timer
-	alphaTimer   *sim.Timer
+	rpTimer      sim.Timer
+	alphaTimer   sim.Timer
 
 	// Pacing.
 	nextFree  sim.Time
-	sendTimer *sim.Timer
+	sendTimer sim.Timer
 
 	rtoDeadline sim.Time // lazy RTO: 0 = disarmed
 	rtoPending  bool
@@ -111,7 +111,7 @@ func (s *Sender) FlowStatus() transport.FlowStatus {
 		RTOArmed:          s.rtoDeadline > 0,
 		RTODeadline:       s.rtoDeadline,
 	}
-	if s.sendTimer != nil && s.sendTimer.Pending() {
+	if s.sendTimer.Pending() {
 		fs.Timers = append(fs.Timers, "pacing-pending")
 	}
 	return fs
@@ -167,7 +167,7 @@ func (s *Sender) pickPSN() (psn int64, isRetx, ok bool) {
 }
 
 func (s *Sender) schedule() {
-	if s.done || (s.sendTimer != nil && s.sendTimer.Pending()) {
+	if s.done || s.sendTimer.Pending() {
 		return
 	}
 	if _, _, ok := s.pickPSN(); !ok {
@@ -383,10 +383,10 @@ func (s *Sender) onCnp() {
 }
 
 func (s *Sender) startRateTimers() {
-	if s.rpTimer == nil || !s.rpTimer.Pending() {
+	if !s.rpTimer.Pending() {
 		s.rpTimer = s.s.After(s.cfg.RPTimer, s.rpTick)
 	}
-	if s.alphaTimer == nil || !s.alphaTimer.Pending() {
+	if !s.alphaTimer.Pending() {
 		s.alphaTimer = s.s.After(s.cfg.AlphaTimer, s.alphaTick)
 	}
 }
@@ -498,10 +498,8 @@ func (s *Sender) complete() {
 	}
 	s.done = true
 	s.rtoDeadline = 0
-	for _, t := range []*sim.Timer{s.sendTimer, s.rpTimer, s.alphaTimer} {
-		if t != nil {
-			t.Stop()
-		}
+	for _, t := range []sim.Timer{s.sendTimer, s.rpTimer, s.alphaTimer} {
+		t.Stop()
 	}
 	if s.onDone != nil {
 		s.onDone()
