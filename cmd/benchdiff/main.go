@@ -8,8 +8,10 @@
 //	benchdiff -max-regress 0.20 BENCH_pr4.json BENCH_ci.json
 //
 // Records are matched by (experiment, procs). Experiments present in
-// only one file are reported but do not fail the comparison; hosts
-// differ, so only relative throughput on the same machine is judged.
+// only one artifact are called out explicitly — "(new)" for
+// current-only, "(missing)" for baseline-only — and an empty
+// intersection exits non-zero; hosts differ, so only relative
+// throughput on the same machine is judged.
 package main
 
 import (
@@ -67,17 +69,23 @@ func main() {
 	for _, r := range base.Records {
 		baseBy[key{r.Experiment, r.Procs}] = r
 	}
+	curHas := map[key]bool{}
+	for _, r := range cur.Records {
+		curHas[key{r.Experiment, r.Procs}] = true
+	}
 
 	fmt.Printf("%-16s %6s %14s %14s %8s\n",
 		"experiment", "procs", "base ev/s", "cur ev/s", "ratio")
 	failed := false
 	compared := 0
+	onesided := 0
 	for _, r := range cur.Records {
 		if *expFilter != "" && r.Experiment != *expFilter {
 			continue
 		}
 		b, ok := baseBy[key{r.Experiment, r.Procs}]
 		if !ok {
+			onesided++
 			fmt.Printf("%-16s %6d %14s %14.0f %8s\n",
 				r.Experiment, r.Procs, "(new)", r.EventsPerSec, "-")
 			continue
@@ -95,8 +103,23 @@ func main() {
 		fmt.Printf("%-16s %6d %14.0f %14.0f %7.2fx%s\n",
 			r.Experiment, r.Procs, b.EventsPerSec, r.EventsPerSec, ratio, mark)
 	}
+	// Baseline records with no counterpart in the current run are just as
+	// suspicious as new ones: an experiment silently vanishing from the
+	// artifact must not look like a passing comparison.
+	for _, r := range base.Records {
+		if *expFilter != "" && r.Experiment != *expFilter {
+			continue
+		}
+		if !curHas[key{r.Experiment, r.Procs}] {
+			onesided++
+			fmt.Printf("%-16s %6d %14.0f %14s %8s\n",
+				r.Experiment, r.Procs, r.EventsPerSec, "(missing)", "-")
+		}
+	}
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping records to compare")
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: no overlapping records to compare (%d present in only one artifact)\n",
+			onesided)
 		os.Exit(2)
 	}
 	if failed {

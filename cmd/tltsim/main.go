@@ -10,6 +10,7 @@
 //	tltsim -exp all -bench-out BENCH_local.json
 //	tltsim -exp fig5 -audit          # run with the invariant auditor on
 //	tltsim -exp fig9 -chaos 'flap:link=rand,at=200us,down=50us,every=2ms'
+//	tltsim -exp fig5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,8 +39,34 @@ func main() {
 		benchOut  = flag.String("bench-out", "", "write per-experiment bench records (wall clock, events/sec, allocs) to this JSON file")
 		chaosSpec = flag.String("chaos", "", "fault schedule, e.g. 'flap:link=rand,at=200us,down=50us,every=2ms;seed=7'")
 		auditFlag = flag.Bool("audit", false, "attach the runtime invariant auditor (panics on first violation)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "-cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *memProf != "" {
+		defer writeProfile("allocs", *memProf)
+	}
 
 	var plan *chaos.Plan
 	if *chaosSpec != "" {
@@ -148,5 +176,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d bench records to %s\n", len(benchRecs), *benchOut)
+	}
+}
+
+// writeProfile dumps one named pprof profile at exit. The allocs profile
+// needs a GC first so the numbers reflect everything the run allocated.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if name == "allocs" {
+		runtime.GC()
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", name, err)
 	}
 }

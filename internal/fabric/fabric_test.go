@@ -321,10 +321,10 @@ func TestINTStamping(t *testing.T) {
 	p := data(1, 1, 1000, packet.Unimportant)
 	h.Send(p)
 	s.RunAll()
-	if len(k.got) != 1 || len(k.got[0].INT) != 1 {
-		t.Fatalf("INT hops = %d, want 1", len(k.got[0].INT))
+	if len(k.got) != 1 || k.got[0].NumINT() != 1 {
+		t.Fatalf("INT hops = %d, want 1", k.got[0].NumINT())
 	}
-	hop := k.got[0].INT[0]
+	hop := k.got[0].INTHops()[0]
 	if hop.RateBps != 40e9 || hop.TxBytes == 0 {
 		t.Fatalf("INT hop = %+v", hop)
 	}

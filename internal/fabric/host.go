@@ -12,6 +12,13 @@ type PacketHandler interface {
 	Handle(pkt *packet.Packet)
 }
 
+// maxDenseFlow bounds the dense dispatch table: flow IDs below it index
+// a per-host slot table directly; anything above falls back to the map.
+// The workload generator allocates IDs sequentially from 1, so every
+// normal run stays dense; the cap only guards pathological IDs from
+// hand-built tests.
+const maxDenseFlow = 1 << 22
+
 // Host is an end host with a single NIC port. Transport endpoints
 // register per-flow handlers; outbound packets share one FIFO NIC queue
 // that honors PFC pause from the ToR.
@@ -21,8 +28,16 @@ type Host struct {
 
 	tx    *Tx
 	queue []*packet.Packet
+	sizes []int // wire size of queue[i], recorded while the packet is cache-warm
 	pop   int
 
+	// Dense dispatch: flow IDs get a compact per-run slot index at
+	// registration, so demux on the per-packet path is two slice
+	// indexes. idx maps FlowID → slot+1 (0 = unregistered); slots holds
+	// the handlers. handlers is the slow path for IDs past maxDenseFlow
+	// and stays nil until one appears.
+	idx      []int32
+	slots    []PacketHandler
 	handlers map[packet.FlowID]PacketHandler
 
 	// pool, when set, supplies outbound packets and recycles inbound
@@ -31,13 +46,14 @@ type Host struct {
 	pool *packet.Pool
 
 	// Trace, when set, observes every packet the host sends ("tx") and
-	// receives ("rx"). Used by the trace package; nil in normal runs.
+	// receives ("rx"). Used by the trace package; it MUST stay nil when
+	// tracing is disabled so the hot path pays only a nil check.
 	Trace func(now sim.Time, dir string, pkt *packet.Packet)
 }
 
 // NewHost constructs a host.
 func NewHost(s *sim.Sim, id packet.NodeID) *Host {
-	return &Host{id: id, sim: s, handlers: make(map[packet.FlowID]PacketHandler)}
+	return &Host{id: id, sim: s}
 }
 
 // ID returns the host's node ID.
@@ -63,12 +79,53 @@ func (h *Host) QueuedPackets() int { return len(h.queue) - h.pop }
 
 // Register installs the handler for a flow's packets arriving at this host.
 func (h *Host) Register(flow packet.FlowID, ep PacketHandler) {
+	if flow < maxDenseFlow {
+		for int(flow) >= len(h.idx) {
+			h.idx = append(h.idx, 0)
+		}
+		if s := h.idx[flow]; s != 0 {
+			h.slots[s-1] = ep
+			return
+		}
+		h.slots = append(h.slots, ep)
+		h.idx[flow] = int32(len(h.slots))
+		return
+	}
+	if h.handlers == nil {
+		h.handlers = make(map[packet.FlowID]PacketHandler)
+	}
 	h.handlers[flow] = ep
 }
 
-// Unregister removes a flow's handler.
+// Unregister removes a flow's handler. The slot index is retired, so
+// straggler packets for the flow (e.g. after it finished) fall through
+// to the drop path.
 func (h *Host) Unregister(flow packet.FlowID) {
+	if flow < maxDenseFlow {
+		if int(flow) < len(h.idx) {
+			if s := h.idx[flow]; s != 0 {
+				h.slots[s-1] = nil // release the handler reference
+				h.idx[flow] = 0
+			}
+		}
+		return
+	}
 	delete(h.handlers, flow)
+}
+
+// handlerFor demuxes a flow ID: dense slot table first, map slow path
+// for out-of-range IDs.
+func (h *Host) handlerFor(flow packet.FlowID) PacketHandler {
+	if uint64(flow) < uint64(len(h.idx)) {
+		if s := h.idx[flow]; s != 0 {
+			return h.slots[s-1]
+		}
+		return nil
+	}
+	if h.handlers != nil {
+		return h.handlers[flow]
+	}
+	return nil
 }
 
 // Send stamps the source and queues the packet on the NIC.
@@ -78,6 +135,11 @@ func (h *Host) Send(pkt *packet.Packet) {
 		h.Trace(h.sim.Now(), "tx", pkt)
 	}
 	h.queue = append(h.queue, pkt)
+	// WireSize is computed here, right after the transport filled the
+	// packet, and carried alongside: at dequeue time the struct would be
+	// cache-cold. Switches never add INT while the packet sits in the
+	// NIC queue, so the size cannot go stale.
+	h.sizes = append(h.sizes, pkt.WireSize())
 	h.tx.Kick()
 }
 
@@ -89,24 +151,36 @@ func (h *Host) attach(port int, tx *Tx) {
 	tx.dequeue = h.dequeue
 }
 
-func (h *Host) dequeue() *packet.Packet {
+func (h *Host) dequeue() (*packet.Packet, int) {
 	if h.pop >= len(h.queue) {
 		h.queue = h.queue[:0]
+		h.sizes = h.sizes[:0]
 		h.pop = 0
-		return nil
+		return nil, 0
 	}
 	pkt := h.queue[h.pop]
+	size := h.sizes[h.pop]
 	h.queue[h.pop] = nil
 	h.pop++
 	if h.pop == len(h.queue) {
 		h.queue = h.queue[:0]
+		h.sizes = h.sizes[:0]
 		h.pop = 0
 	} else if h.pop > 1024 && h.pop*2 > len(h.queue) {
 		n := copy(h.queue, h.queue[h.pop:])
 		h.queue = h.queue[:n]
+		copy(h.sizes, h.sizes[h.pop:])
+		h.sizes = h.sizes[:n]
 		h.pop = 0
 	}
-	return pkt
+	return pkt, size
+}
+
+// recycle returns a fully-consumed packet to the free list.
+func (h *Host) recycle(pkt *packet.Packet) {
+	if h.pool != nil {
+		h.pool.Put(pkt)
+	}
 }
 
 // Receive implements Device: demultiplex to the flow's endpoint, or react
@@ -115,15 +189,17 @@ func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	switch pkt.Type {
 	case packet.Pause:
 		h.tx.Pause()
+		h.recycle(pkt)
 		return
 	case packet.Resume:
 		h.tx.Resume()
+		h.recycle(pkt)
 		return
 	}
 	if h.Trace != nil {
 		h.Trace(h.sim.Now(), "rx", pkt)
 	}
-	if ep, ok := h.handlers[pkt.Flow]; ok {
+	if ep := h.handlerFor(pkt.Flow); ep != nil {
 		ep.Handle(pkt)
 	}
 	// Packets for unknown flows (e.g. stragglers after a flow finished)
@@ -131,9 +207,6 @@ func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	//
 	// Either way the packet's life ends here: handlers copy what they
 	// keep (no transport retains the pointer past Handle), so it can go
-	// back on the free-list. Packets dropped mid-fabric simply fall to
-	// the GC.
-	if h.pool != nil {
-		h.pool.Put(pkt)
-	}
+	// back on the free-list.
+	h.recycle(pkt)
 }

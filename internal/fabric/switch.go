@@ -75,6 +75,7 @@ type Counters struct {
 	ECNMarked      int64
 	PauseFrames    int64
 	ResumeFrames   int64
+	INTOverflow    int64 // INT stamps that spilled past packet.MaxINTHops
 }
 
 // Add accumulates other into c.
@@ -88,6 +89,7 @@ func (c *Counters) Add(o *Counters) {
 	c.ECNMarked += o.ECNMarked
 	c.PauseFrames += o.PauseFrames
 	c.ResumeFrames += o.ResumeFrames
+	c.INTOverflow += o.INTOverflow
 }
 
 // TotalDrops returns all drops regardless of cause.
@@ -106,9 +108,10 @@ type swQueue struct {
 	maxRedBytes int64
 }
 
-func (q *swQueue) push(pkt *packet.Packet) {
+// push appends pkt to the FIFO. The caller passes the wire size (already
+// computed for admission) so the hot path sizes each packet exactly once.
+func (q *swQueue) push(pkt *packet.Packet, sz int64) {
 	q.queue = append(q.queue, pkt)
-	sz := int64(pkt.WireSize())
 	q.bytes += sz
 	if pkt.Mark.Color() == packet.Red {
 		q.red += sz
@@ -121,9 +124,11 @@ func (q *swQueue) push(pkt *packet.Packet) {
 	}
 }
 
-func (q *swQueue) popFront() *packet.Packet {
+// popFront removes and returns the head packet and its wire size
+// (re-derived here once, then reused by the dequeue accounting).
+func (q *swQueue) popFront() (*packet.Packet, int64) {
 	if q.pop >= len(q.queue) {
-		return nil
+		return nil, 0
 	}
 	pkt := q.queue[q.pop]
 	q.queue[q.pop] = nil
@@ -141,7 +146,7 @@ func (q *swQueue) popFront() *packet.Packet {
 	if pkt.Mark.Color() == packet.Red {
 		q.red -= sz
 	}
-	return pkt
+	return pkt, sz
 }
 
 // swPort is one egress port: a set of class queues behind a transmitter,
@@ -185,6 +190,10 @@ type Switch struct {
 	// builder; host IDs are small non-negative integers.
 	routes [][]int
 
+	// pool, when set, recycles packets the switch drops at admission and
+	// supplies PFC control frames, so neither path allocates.
+	pool *packet.Pool
+
 	// Ctr collects statistics.
 	Ctr Counters
 
@@ -208,6 +217,26 @@ func NewSwitch(s *sim.Sim, id packet.NodeID, rng *sim.RNG, cfg SwitchConfig) *Sw
 
 // ID returns the switch's node ID.
 func (sw *Switch) ID() packet.NodeID { return sw.id }
+
+// SetPool installs the packet free-list the switch recycles dropped
+// packets to and draws PFC control frames from.
+func (sw *Switch) SetPool(p *packet.Pool) { sw.pool = p }
+
+// recycle returns a packet whose life ended inside the switch (admission
+// drop, consumed control frame) to the free list.
+func (sw *Switch) recycle(pkt *packet.Packet) {
+	if sw.pool != nil {
+		sw.pool.Put(pkt)
+	}
+}
+
+// newControl returns a zeroed packet for a PFC frame.
+func (sw *Switch) newControl() *packet.Packet {
+	if sw.pool != nil {
+		return sw.pool.Get()
+	}
+	return &packet.Packet{}
+}
 
 // Config returns the switch configuration.
 func (sw *Switch) Config() SwitchConfig { return sw.cfg }
@@ -288,16 +317,18 @@ func (sw *Switch) SetRoute(dst packet.NodeID, egress []int) {
 func (sw *Switch) attach(port int, tx *Tx) {
 	p := sw.ports[port]
 	p.tx = tx
-	tx.dequeue = func() *packet.Packet { return sw.dequeue(port) }
+	tx.dequeue = func() (*packet.Packet, int) { return sw.dequeue(port) }
 	if sw.cfg.INT {
 		tx.onTransmit = func(pkt *packet.Packet) {
 			if pkt.Type == packet.Data {
-				pkt.INT = append(pkt.INT, packet.INTHop{
+				if pkt.AppendINT(packet.INTHop{
 					QueueBytes: p.totalBytes(),
 					TxBytes:    tx.TxBytes,
 					Timestamp:  sw.sim.Now(),
 					RateBps:    tx.RateBps,
-				})
+				}) {
+					sw.Ctr.INTOverflow++
+				}
 			}
 		}
 	}
@@ -319,9 +350,11 @@ func (sw *Switch) Receive(pkt *packet.Packet, inPort int) {
 	switch pkt.Type {
 	case packet.Pause:
 		sw.ports[inPort].tx.Pause()
+		sw.recycle(pkt)
 		return
 	case packet.Resume:
 		sw.ports[inPort].tx.Resume()
+		sw.recycle(pkt)
 		return
 	}
 
@@ -347,13 +380,15 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 	free := sw.bufLimit - sw.used
 	green := pkt.Mark.Color() == packet.Green
 
-	// Admission control.
+	// Admission control. Rejected packets die here: once the audit hook
+	// has seen them they go back to the free list.
 	switch {
 	case free < size:
 		sw.drop(pkt, &sw.Ctr.DropBufferFull)
 		if sw.Audit != nil {
 			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonBufferFull, q.bytes, free)
 		}
+		sw.recycle(pkt)
 		return
 	case tc == 0 && sw.cfg.ColorThreshold > 0 && !green && q.bytes >= sw.cfg.ColorThreshold:
 		// Color-aware dropping: the red class may not grow the queue
@@ -362,6 +397,7 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 		if sw.Audit != nil {
 			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonColor, q.bytes, free)
 		}
+		sw.recycle(pkt)
 		return
 	case !sw.cfg.PFC && float64(q.bytes)+float64(size) > sw.cfg.Alpha*float64(free):
 		// Dynamic shared-buffer threshold (lossy operation only; the
@@ -370,6 +406,7 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 		if sw.Audit != nil {
 			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonDynamic, q.bytes, free)
 		}
+		sw.recycle(pkt)
 		return
 	}
 
@@ -407,7 +444,7 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 
 	pkt.EnqIngress = inPort
 	sw.used += size
-	q.push(pkt)
+	q.push(pkt, size)
 	if sw.Audit != nil {
 		sw.Audit.OnEnqueue(sw, egress, tc, pkt)
 	}
@@ -423,7 +460,10 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 			if sw.Audit != nil {
 				sw.Audit.OnPFC(sw, inPort, true)
 			}
-			in.tx.DeliverControl(&packet.Packet{Type: packet.Pause, Src: sw.id})
+			pf := sw.newControl()
+			pf.Type = packet.Pause
+			pf.Src = sw.id
+			in.tx.DeliverControl(pf)
 		}
 	}
 
@@ -438,23 +478,23 @@ func (sw *Switch) drop(pkt *packet.Packet, ctr *int64) {
 }
 
 // dequeue serves the port's class queues round-robin.
-func (sw *Switch) dequeue(port int) *packet.Packet {
+func (sw *Switch) dequeue(port int) (*packet.Packet, int) {
 	p := sw.ports[port]
 	var pkt *packet.Packet
+	var size int64
 	tc := 0
 	for i := 0; i < len(p.qs); i++ {
 		cls := p.rr
 		q := &p.qs[cls]
 		p.rr = (p.rr + 1) % len(p.qs)
-		if pkt = q.popFront(); pkt != nil {
+		if pkt, size = q.popFront(); pkt != nil {
 			tc = cls
 			break
 		}
 	}
 	if pkt == nil {
-		return nil
+		return nil, 0
 	}
-	size := int64(pkt.WireSize())
 	sw.used -= size
 	if sw.Audit != nil {
 		sw.Audit.OnDequeue(sw, port, tc, pkt)
@@ -469,8 +509,11 @@ func (sw *Switch) dequeue(port int) *packet.Packet {
 			if sw.Audit != nil {
 				sw.Audit.OnPFC(sw, pkt.EnqIngress, false)
 			}
-			in.tx.DeliverControl(&packet.Packet{Type: packet.Resume, Src: sw.id})
+			pf := sw.newControl()
+			pf.Type = packet.Resume
+			pf.Src = sw.id
+			in.tx.DeliverControl(pf)
 		}
 	}
-	return pkt
+	return pkt, int(size)
 }

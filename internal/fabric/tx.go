@@ -153,8 +153,10 @@ type Tx struct {
 	// TxBytes counts cumulative bytes serialized, exposed via INT.
 	TxBytes int64
 
-	// dequeue returns the next packet to transmit or nil if none.
-	dequeue func() *packet.Packet
+	// dequeue returns the next packet to transmit (nil if none) and its
+	// wire size. Owners track sizes at enqueue time, so serialization
+	// never recomputes WireSize on a cache-cold packet.
+	dequeue func() (*packet.Packet, int)
 	// onTransmit, if set, runs when a packet begins serialization (used
 	// by switches to stamp INT telemetry).
 	onTransmit func(*packet.Packet)
@@ -179,11 +181,10 @@ func (tx *Tx) Kick() {
 }
 
 func (tx *Tx) startNext() {
-	pkt := tx.dequeue()
+	pkt, size := tx.dequeue()
 	if pkt == nil {
 		return
 	}
-	size := pkt.WireSize()
 	tx.TxBytes += int64(size)
 	if tx.onTransmit != nil {
 		tx.onTransmit(pkt)

@@ -114,6 +114,13 @@ type INTHop struct {
 	RateBps    int64    // port line rate
 }
 
+// MaxINTHops is the inline telemetry capacity of a packet. Leaf-spine
+// paths traverse at most three switches (ToR→spine→ToR), so five inline
+// slots cover every topology in the repository with headroom; deeper
+// fabrics spill to a heap-allocated overflow slice (counted by the
+// switch so the fallback never hides silently).
+const MaxINTHops = 5
+
 // HeaderBytes is the modeled per-packet overhead (Ethernet+IP+TCP-ish).
 const HeaderBytes = 48
 
@@ -129,6 +136,12 @@ type Packet struct {
 	// TC is the traffic class (egress queue) on multi-queue switch
 	// ports; class 0 is the TLT class in incremental deployments (§5.3).
 	TC uint8
+
+	// intN is the inline INT hop count, or intSpilled once the stack
+	// overflowed into intOv. It lives up here, packed with the other
+	// byte-wide fields, so WireSize resolves the common no-spill case
+	// from the packet's first cache line without touching intOv.
+	intN uint8
 
 	// Seq/Len: for TCP-family Data, the byte offset and payload length.
 	// For RoCE-family Data, Seq is the PSN and Len the payload bytes.
@@ -156,19 +169,84 @@ type Packet struct {
 	IsRetx  bool // retransmission (diagnostics)
 	LastPkt bool // RoCE: last packet of the message
 
-	// INT telemetry (HPCC). Appended per hop on Data, echoed on Ack.
-	INT []INTHop
-
 	// EnqIngress records the switch ingress port while buffered, for
 	// per-ingress PFC accounting. Internal to fabric.
 	EnqIngress int
+
+	// INT telemetry (HPCC). Appended per hop on Data, echoed on Ack.
+	// The hot path stores hops in the fixed inline array (no heap
+	// traffic); paths deeper than MaxINTHops spill to intOv (and intN,
+	// declared near the top of the struct, becomes intSpilled). Access
+	// goes through AppendINT/INTHops/CopyINTFrom so the representation
+	// stays private. The bulky hop array sits last so the
+	// frequently-read header fields stay within the struct's first two
+	// cache lines.
+	intOv   []INTHop
+	intHops [MaxINTHops]INTHop
+}
+
+// intSpilled in intN marks a packet whose INT stack overflowed the
+// inline array; the authoritative hop list is then intOv.
+const intSpilled = MaxINTHops + 1
+
+// AppendINT records one telemetry hop, reporting whether the packet had
+// to spill to the heap-allocated overflow slice (path deeper than
+// MaxINTHops).
+func (p *Packet) AppendINT(h INTHop) (spilled bool) {
+	if p.intN < MaxINTHops {
+		p.intHops[p.intN] = h
+		p.intN++
+		return false
+	}
+	if p.intN == MaxINTHops {
+		p.intOv = append(make([]INTHop, 0, 2*MaxINTHops), p.intHops[:]...)
+		p.intN = intSpilled
+	}
+	p.intOv = append(p.intOv, h)
+	return true
+}
+
+// NumINT returns the number of telemetry hops carried.
+func (p *Packet) NumINT() int {
+	if p.intN <= MaxINTHops {
+		return int(p.intN)
+	}
+	return len(p.intOv)
+}
+
+// INTHops returns the telemetry hops in path order. The returned slice
+// aliases packet-internal storage: handlers copy what they keep, exactly
+// as with the packet itself.
+func (p *Packet) INTHops() []INTHop {
+	if p.intN <= MaxINTHops {
+		return p.intHops[:p.intN]
+	}
+	return p.intOv
+}
+
+// CopyINTFrom copies src's telemetry into p (an ACK echoing the data
+// packet's INT stack). Inline hops copy by value — only the occupied
+// slots, so an INT-free echo costs nothing; only a spilled source forces
+// a fresh overflow allocation. Either way the echo path stays safe under
+// packet recycling without sharing backing arrays.
+func (p *Packet) CopyINTFrom(src *Packet) {
+	if src.intN > MaxINTHops {
+		p.intOv = append(p.intOv[:0], src.intOv...)
+		p.intN = intSpilled
+		return
+	}
+	for i := 0; i < int(src.intN); i++ {
+		p.intHops[i] = src.intHops[i]
+	}
+	p.intN = src.intN
+	p.intOv = nil
 }
 
 // WireSize returns the packet's size on the wire in bytes.
 func (p *Packet) WireSize() int {
 	n := p.Len + HeaderBytes
 	// INT metadata occupies real header space (HPCC: ~8B per hop).
-	n += 8 * len(p.INT)
+	n += 8 * p.NumINT()
 	return n
 }
 

@@ -32,9 +32,71 @@ func TestWireSize(t *testing.T) {
 		t.Fatalf("pure ACK WireSize = %d, want %d", got, HeaderBytes)
 	}
 	// INT hops consume header space.
-	p.INT = append(p.INT, INTHop{}, INTHop{})
+	p.AppendINT(INTHop{})
+	p.AppendINT(INTHop{})
 	if got := p.WireSize(); got != 1048+16 {
 		t.Fatalf("WireSize with 2 INT hops = %d, want %d", got, 1048+16)
+	}
+}
+
+func TestINTInlineAndOverflow(t *testing.T) {
+	p := &Packet{}
+	for i := 0; i < MaxINTHops; i++ {
+		if p.AppendINT(INTHop{QueueBytes: int64(i)}) {
+			t.Fatalf("hop %d spilled before MaxINTHops", i)
+		}
+	}
+	if p.NumINT() != MaxINTHops {
+		t.Fatalf("NumINT = %d, want %d", p.NumINT(), MaxINTHops)
+	}
+	// One past capacity spills to the overflow slice, preserving order.
+	if !p.AppendINT(INTHop{QueueBytes: 99}) {
+		t.Fatal("overflow append did not report a spill")
+	}
+	hops := p.INTHops()
+	if len(hops) != MaxINTHops+1 {
+		t.Fatalf("len(INTHops) = %d, want %d", len(hops), MaxINTHops+1)
+	}
+	for i := 0; i < MaxINTHops; i++ {
+		if hops[i].QueueBytes != int64(i) {
+			t.Fatalf("hop %d = %+v after spill", i, hops[i])
+		}
+	}
+	if hops[MaxINTHops].QueueBytes != 99 {
+		t.Fatalf("spilled hop = %+v", hops[MaxINTHops])
+	}
+}
+
+func TestCopyINTFrom(t *testing.T) {
+	src := &Packet{}
+	src.AppendINT(INTHop{QueueBytes: 1})
+	src.AppendINT(INTHop{QueueBytes: 2})
+	ack := &Packet{}
+	ack.CopyINTFrom(src)
+	// The copy must not alias the source: recycling src (full zero) may
+	// not disturb the echoed hops.
+	*src = Packet{}
+	hops := ack.INTHops()
+	if len(hops) != 2 || hops[0].QueueBytes != 1 || hops[1].QueueBytes != 2 {
+		t.Fatalf("echoed hops = %+v", hops)
+	}
+
+	// Same property when the source spilled to the overflow slice.
+	big := &Packet{}
+	for i := 0; i < MaxINTHops+2; i++ {
+		big.AppendINT(INTHop{QueueBytes: int64(i)})
+	}
+	ack2 := &Packet{}
+	ack2.CopyINTFrom(big)
+	*big = Packet{}
+	hops = ack2.INTHops()
+	if len(hops) != MaxINTHops+2 {
+		t.Fatalf("echoed spilled hops = %d, want %d", len(hops), MaxINTHops+2)
+	}
+	for i, h := range hops {
+		if h.QueueBytes != int64(i) {
+			t.Fatalf("echoed hop %d = %+v", i, h)
+		}
 	}
 }
 

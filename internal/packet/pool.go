@@ -2,9 +2,10 @@ package packet
 
 // Pool is a free-list for Packet allocations on the simulation hot path.
 // Hosts draw outbound packets from it and recycle inbound packets once
-// the transport handler returns, so steady-state traffic reuses a small
-// working set of structs instead of pressuring the GC with one
-// allocation per segment and ACK.
+// the transport handler returns; switches recycle packets they drop at
+// admission and draw PFC control frames from it. Steady-state traffic
+// therefore reuses a small working set of structs instead of pressuring
+// the GC with one allocation per segment, ACK, drop and PAUSE frame.
 //
 // A Pool belongs to exactly one simulation (one *sim.Sim event loop) and
 // is NOT safe for concurrent use; parallel experiment runs each build
@@ -16,10 +17,29 @@ type Pool struct {
 	// ratio is the pool hit rate reported by benchmarks.
 	News   uint64
 	Reuses uint64
+
+	// Puts counts recycles (News+Reuses-Puts = live packets, assuming
+	// no leaks); the runtime invariant tests assert on it.
+	Puts uint64
+
+	// onFree is non-nil when audit mode is on: it tracks free-list
+	// membership so a double Put panics instead of corrupting the list.
+	onFree map[*Packet]bool
 }
+
+// poisonSeq is stamped into freed packets under audit mode; a packet
+// whose poison was clobbered between Put and Get was written through a
+// stale pointer (use-after-put).
+const poisonSeq int64 = -0x7057_dead_beef
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
+
+// EnableAudit turns on free-list invariant checking (tests only): Put
+// panics on a double-put, and Get panics when a freed packet was
+// mutated while on the free list (use-after-put). The checks cost a map
+// operation per Get/Put, so production pools leave this off.
+func (p *Pool) EnableAudit() { p.onFree = make(map[*Packet]bool) }
 
 // Get returns a zeroed packet, recycling a freed one when available.
 func (p *Pool) Get() *Packet {
@@ -28,18 +48,38 @@ func (p *Pool) Get() *Packet {
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 		p.Reuses++
+		if p.onFree != nil {
+			if pkt.Seq != poisonSeq {
+				panic("packet.Pool: freed packet was mutated on the free list (use-after-put)")
+			}
+			pkt.Seq = 0
+			delete(p.onFree, pkt)
+		}
 		return pkt
 	}
 	p.News++
 	return &Packet{}
 }
 
-// Put recycles pkt. The struct is fully zeroed — including the Sack and
-// INT slice headers — so no stale field leaks into the next Get and any
-// backing array still aliased by an in-flight reader (an HPCC ACK echoes
-// the data packet's INT slice; trace events copy slice headers) remains
-// solely theirs: the pool never reuses slice capacity.
+// Put recycles pkt. The struct is fully zeroed — including the Sack
+// slice header and the inline INT state — so no stale field leaks into
+// the next Get and any backing array still aliased by an in-flight
+// reader (trace events copy slice headers) remains solely theirs: the
+// pool never reuses slice capacity.
 func (p *Pool) Put(pkt *Packet) {
+	if p.onFree != nil {
+		if p.onFree[pkt] {
+			panic("packet.Pool: double Put of the same packet")
+		}
+		p.onFree[pkt] = true
+	}
 	*pkt = Packet{}
+	if p.onFree != nil {
+		pkt.Seq = poisonSeq
+	}
+	p.Puts++
 	p.free = append(p.free, pkt)
 }
+
+// FreeLen returns the current free-list length (tests).
+func (p *Pool) FreeLen() int { return len(p.free) }

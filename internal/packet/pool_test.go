@@ -11,7 +11,7 @@ func TestPoolRecyclesZeroed(t *testing.T) {
 	a.Flow = 7
 	a.Type = Ack
 	a.Sack = []SackBlock{{0, 10}}
-	a.INT = []INTHop{{QueueBytes: 1}}
+	a.AppendINT(INTHop{QueueBytes: 1})
 	sack := a.Sack
 	p.Put(a)
 
@@ -19,10 +19,10 @@ func TestPoolRecyclesZeroed(t *testing.T) {
 	if b != a {
 		t.Fatal("Get did not reuse the freed packet")
 	}
-	if p.Reuses != 1 {
-		t.Fatalf("reuses = %d, want 1", p.Reuses)
+	if p.Reuses != 1 || p.Puts != 1 {
+		t.Fatalf("reuses = %d puts = %d, want 1/1", p.Reuses, p.Puts)
 	}
-	if b.Flow != 0 || b.Type != Data || b.Sack != nil || b.INT != nil {
+	if b.Flow != 0 || b.Type != Data || b.Sack != nil || b.NumINT() != 0 {
 		t.Fatalf("recycled packet not zeroed: %+v", b)
 	}
 	// The old backing array must be untouched: an in-flight alias (trace

@@ -104,6 +104,7 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		sc := cfg.Switch
 		sc.Ports = cfg.HostsPerTor + cfg.Spines
 		tors[t] = fabric.NewSwitch(s, torID(t), rng, sc)
+		tors[t].SetPool(n.Pool)
 		n.Switches = append(n.Switches, tors[t])
 	}
 	spines := make([]*fabric.Switch, cfg.Spines)
@@ -111,6 +112,7 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		sc := cfg.Switch
 		sc.Ports = cfg.Tors
 		spines[c] = fabric.NewSwitch(s, spineID(c), rng, sc)
+		spines[c].SetPool(n.Pool)
 		n.Switches = append(n.Switches, spines[c])
 	}
 
@@ -170,6 +172,7 @@ func Star(s *sim.Sim, cfg StarConfig) *Network {
 	sc := cfg.Switch
 	sc.Ports = cfg.Hosts
 	sw := fabric.NewSwitch(s, 1000, rng, sc)
+	sw.SetPool(n.Pool)
 	n.Switches = []*fabric.Switch{sw}
 	for h := 0; h < cfg.Hosts; h++ {
 		host := fabric.NewHost(s, packet.NodeID(h))
@@ -205,6 +208,8 @@ func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
 	rc.Ports = cfg.RightHosts + 1
 	left := fabric.NewSwitch(s, 1000, rng, lc)
 	right := fabric.NewSwitch(s, 1001, rng, rc)
+	left.SetPool(n.Pool)
+	right.SetPool(n.Pool)
 	n.Switches = []*fabric.Switch{left, right}
 
 	total := cfg.LeftHosts + cfg.RightHosts

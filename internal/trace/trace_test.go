@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -104,5 +105,63 @@ func TestTracerStreamAndFormat(t *testing.T) {
 	tr.Dump(&dump)
 	if dump.String() != out {
 		t.Fatal("Dump should match streamed output")
+	}
+}
+
+// runScenario drives a fixed multi-flow incast, optionally attaching tr
+// to every host, and returns a deterministic per-flow report string plus
+// the network for hook inspection.
+func runScenario(t *testing.T, tr *Tracer) (string, *topo.Network) {
+	t.Helper()
+	s := sim.New()
+	n := topo.Star(s, topo.StarConfig{
+		Hosts: 5, LinkRateBps: 40e9, LinkDelay: sim.Microsecond,
+		Switch: fabric.SwitchConfig{BufferBytes: 300_000, Alpha: 1},
+	})
+	if tr != nil {
+		tr.AttachAll(n.Hosts)
+	}
+	rec := stats.NewRecorder()
+	for i := 0; i < 4; i++ {
+		f := &transport.Flow{
+			ID: packet.FlowID(i + 1), Src: packet.NodeID(i + 1), Dst: 0,
+			Size: 200_000,
+		}
+		tcp.StartFlow(s, n.Hosts[i+1], n.Hosts[0], f, tcp.DefaultConfig(), rec, nil)
+	}
+	s.RunAll()
+	var b strings.Builder
+	for _, fr := range rec.Flows {
+		fmt.Fprintf(&b, "flow=%d done=%v fct=%v sent=%d retx=%d to=%d bytes=%d\n",
+			fr.Flow.ID, fr.Done, fr.FCT(), fr.SentPackets, fr.RetxPackets, fr.Timeouts, fr.TotalBytes)
+	}
+	return b.String(), n
+}
+
+// TestUntracedRunIdenticalAndHookFree is the regression test for the
+// hot-path tracing contract: a run without a tracer must leave every
+// host's Trace hook nil (so receive/send pay only a nil check and no
+// trace call can ever happen), and the simulation results must be
+// byte-identical with and without tracing attached.
+func TestUntracedRunIdenticalAndHookFree(t *testing.T) {
+	plain, n := runScenario(t, nil)
+	for _, h := range n.Hosts {
+		if h.Trace != nil {
+			t.Fatalf("host %d has a trace hook in an untraced run", h.ID())
+		}
+	}
+	for _, sw := range n.Switches {
+		if sw.Audit != nil {
+			t.Fatalf("switch %d has an audit hook in a plain run", sw.ID())
+		}
+	}
+
+	tr := New(0)
+	traced, _ := runScenario(t, tr)
+	if traced != plain {
+		t.Fatalf("tracing changed the report:\n--- untraced ---\n%s--- traced ---\n%s", plain, traced)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("traced run recorded no events")
 	}
 }

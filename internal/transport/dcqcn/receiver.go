@@ -86,11 +86,9 @@ func (r *Receiver) maybeCnp() {
 	r.cnpPrimed = true
 	r.lastCnp = now
 	cnp := r.host.NewPacket()
-	*cnp = packet.Packet{
-		Flow: r.flow.ID, Dst: r.flow.Src,
-		Type: packet.Cnp,
-		Mark: r.controlMark(),
-	}
+	cnp.Flow, cnp.Dst = r.flow.ID, r.flow.Src
+	cnp.Type = packet.Cnp
+	cnp.Mark = r.controlMark()
 	r.send(cnp)
 }
 
@@ -110,12 +108,10 @@ func (r *Receiver) handleGBN(pkt *packet.Packet) {
 		if r.lastNackFor != r.expected {
 			r.lastNackFor = r.expected
 			nack := r.host.NewPacket()
-			*nack = packet.Packet{
-				Flow: r.flow.ID, Dst: r.flow.Src,
-				Type: packet.Nack,
-				Ack:  r.expected,
-				Mark: r.controlMark(),
-			}
+			nack.Flow, nack.Dst = r.flow.ID, r.flow.Src
+			nack.Type = packet.Nack
+			nack.Ack = r.expected
+			nack.Mark = r.controlMark()
 			r.send(nack)
 		}
 	default:
@@ -157,13 +153,11 @@ func (r *Receiver) buildAck(cum int64, blocks []packet.SackBlock, mark packet.Ma
 		mark = r.controlMark()
 	}
 	ack := r.host.NewPacket()
-	*ack = packet.Packet{
-		Flow: r.flow.ID, Dst: r.flow.Src,
-		Type: packet.Ack,
-		Ack:  cum,
-		Sack: blocks,
-		Mark: mark,
-	}
+	ack.Flow, ack.Dst = r.flow.ID, r.flow.Src
+	ack.Type = packet.Ack
+	ack.Ack = cum
+	ack.Sack = blocks
+	ack.Mark = mark
 	return ack
 }
 

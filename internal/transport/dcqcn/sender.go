@@ -222,17 +222,17 @@ func (s *Sender) transmit(psn int64, isRetx bool, markOverride packet.Mark) {
 		mark = s.tltWin.TakeMark(!more, now)
 	}
 
+	// Field-by-field fill on the zeroed pooled packet (a composite
+	// literal would copy the whole INT-array-bearing struct).
 	pkt := s.host.NewPacket()
-	*pkt = packet.Packet{
-		Flow: s.flow.ID, Dst: s.flow.Dst,
-		Type: packet.Data,
-		Seq:  psn, Len: length,
-		Mark:    mark,
-		ECT:     true,
-		SentAt:  now,
-		IsRetx:  isRetx,
-		LastPkt: last,
-	}
+	pkt.Flow, pkt.Dst = s.flow.ID, s.flow.Dst
+	pkt.Type = packet.Data
+	pkt.Seq, pkt.Len = psn, length
+	pkt.Mark = mark
+	pkt.ECT = true
+	pkt.SentAt = now
+	pkt.IsRetx = isRetx
+	pkt.LastPkt = last
 	s.board.OnSent(psn, isRetx, now)
 	if psn >= s.maxSent {
 		s.maxSent = psn + 1

@@ -20,12 +20,11 @@ func isolated(t *testing.T) (*sim.Sim, *Sender) {
 }
 
 func intAck(cum int64, q int64, txBytes int64, at sim.Time) *packet.Packet {
-	return &packet.Packet{
-		Flow: 1, Type: packet.Ack, Ack: cum,
-		INT: []packet.INTHop{{
-			QueueBytes: q, TxBytes: txBytes, Timestamp: at, RateBps: 40e9,
-		}},
-	}
+	pkt := &packet.Packet{Flow: 1, Type: packet.Ack, Ack: cum}
+	pkt.AppendINT(packet.INTHop{
+		QueueBytes: q, TxBytes: txBytes, Timestamp: at, RateBps: 40e9,
+	})
+	return pkt
 }
 
 func TestHPCCWindowShrinksOnHighUtilization(t *testing.T) {

@@ -161,7 +161,7 @@ func (s *Sender) onAck(pkt *packet.Packet) {
 	}
 	s.board.ApplyLostEdge()
 
-	if len(pkt.INT) > 0 {
+	if pkt.NumINT() > 0 {
 		s.react(pkt)
 	}
 
@@ -182,7 +182,7 @@ func (s *Sender) onAck(pkt *packet.Packet) {
 // react runs HPCC's per-ACK control law (Algorithm 1 of the HPCC paper).
 func (s *Sender) react(pkt *packet.Packet) {
 	updateWc := pkt.Ack > s.lastSeq
-	u := s.measureInflight(pkt.INT)
+	u := s.measureInflight(pkt.INTHops())
 	s.computeWind(u, updateWc)
 	if updateWc {
 		s.lastSeq = s.board.Nxt
@@ -289,17 +289,18 @@ func (s *Sender) transmit(psn int64, isRetx bool, mark packet.Mark) {
 	if last {
 		length = s.lastLen
 	}
+	// Field-by-field fill: NewPacket returns a zeroed struct, and a
+	// composite-literal assignment would copy the whole INT-array-bearing
+	// packet through a stack temporary on every send.
 	pkt := s.host.NewPacket()
-	*pkt = packet.Packet{
-		Flow: s.flow.ID, Dst: s.flow.Dst,
-		Type: packet.Data,
-		Seq:  psn, Len: length,
-		Mark:    mark,
-		ECT:     true,
-		SentAt:  now,
-		IsRetx:  isRetx,
-		LastPkt: last,
-	}
+	pkt.Flow, pkt.Dst = s.flow.ID, s.flow.Dst
+	pkt.Type = packet.Data
+	pkt.Seq, pkt.Len = psn, length
+	pkt.Mark = mark
+	pkt.ECT = true
+	pkt.SentAt = now
+	pkt.IsRetx = isRetx
+	pkt.LastPkt = last
 	s.board.OnSent(psn, isRetx, now)
 	if isRetx {
 		s.rec.RetxPackets++

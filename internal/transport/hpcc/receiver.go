@@ -59,21 +59,18 @@ func (r *Receiver) Handle(pkt *packet.Packet) {
 	if !r.cfg.TLT.Enabled {
 		mark = packet.Unimportant
 	}
-	// The ACK aliases the data packet's INT slice; that stays safe under
-	// packet recycling because Pool.Put drops slice headers without ever
-	// reusing their backing arrays.
 	ack := r.host.NewPacket()
-	*ack = packet.Packet{
-		Flow: r.flow.ID, Dst: r.flow.Src,
-		Type: packet.Ack,
-		Ack:  r.cum,
-		Sack: r.rcv.Blocks(8),
-		Mark: mark,
-		INT:  pkt.INT,
-		// Echo the send time so the sender can invalidate
-		// retransmissions that were themselves lost (RACK-style).
-		EchoTS: pkt.SentAt,
-	}
+	ack.Flow, ack.Dst = r.flow.ID, r.flow.Src
+	ack.Type = packet.Ack
+	ack.Ack = r.cum
+	ack.Sack = r.rcv.Blocks(8)
+	ack.Mark = mark
+	// Echo the send time so the sender can invalidate
+	// retransmissions that were themselves lost (RACK-style).
+	ack.EchoTS = pkt.SentAt
+	// Echo the INT stack by value: the ACK must not alias storage inside
+	// pkt, which goes back on the free list when Handle returns.
+	ack.CopyINTFrom(pkt)
 	if r.rec != nil {
 		size := int64(ack.WireSize())
 		r.rec.TotalBytes += size

@@ -151,13 +151,19 @@ func (s *RangeSet) Max() int64 {
 	return s.r[len(s.r)-1].End
 }
 
-// TrimBelow removes coverage below x.
+// TrimBelow removes coverage below x. Fully-trimmed blocks are shifted
+// out in place rather than resliced forward: reslicing strands the
+// leading capacity, so a long-lived set (a receiver trimming for the
+// whole flow) would force Add to reallocate over and over.
 func (s *RangeSet) TrimBelow(x int64) {
 	i := 0
 	for i < len(s.r) && s.r[i].End <= x {
 		i++
 	}
-	s.r = s.r[i:]
+	if i > 0 {
+		n := copy(s.r, s.r[i:])
+		s.r = s.r[:n]
+	}
 	if len(s.r) > 0 && s.r[0].Start < x {
 		s.r[0].Start = x
 	}

@@ -53,16 +53,17 @@ func (r *Receiver) Handle(pkt *packet.Packet) {
 		r.received.TrimBelow(r.rcvNxt)
 	}
 
+	// Field-by-field fill on the zeroed pooled packet; a composite
+	// literal would copy the whole INT-array-bearing struct through a
+	// stack temporary on every ACK.
 	ack := r.host.NewPacket()
-	*ack = packet.Packet{
-		Flow: r.flow.ID, Dst: r.flow.Src,
-		Type: packet.Ack,
-		TC:   r.cfg.TrafficClass,
-		Ack:  r.rcvNxt,
-		Sack: r.received.Blocks(r.cfg.MaxSackBlocks),
-		ECE:  pkt.CE,
-		Mark: r.tlt.TakeAckMark(),
-	}
+	ack.Flow, ack.Dst = r.flow.ID, r.flow.Src
+	ack.Type = packet.Ack
+	ack.TC = r.cfg.TrafficClass
+	ack.Ack = r.rcvNxt
+	ack.Sack = r.received.Blocks(r.cfg.MaxSackBlocks)
+	ack.ECE = pkt.CE
+	ack.Mark = r.tlt.TakeAckMark()
 	if !pkt.IsRetx && pkt.SentAt > 0 {
 		ack.EchoTS = pkt.SentAt
 	}

@@ -92,6 +92,19 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 		rtoEst:   transport.NewRTOEstimator(cfg.RTO),
 		tlt:      core.NewWindowSender(cfg.TLT),
 	}
+	// Size the scoreboard up front when the flow length is known:
+	// growing it by geometric append copies the whole array log(n) times,
+	// which the memory profile shows as the single largest source of
+	// allocated bytes on large sweeps. Slack covers the extra 1-byte
+	// clock-probe segments; app-driven flows (Size 0) and outliers past
+	// the cap still grow on demand.
+	if flow.Size > 0 {
+		nsegs := (flow.Size+int64(cfg.MSS)-1)/int64(cfg.MSS) + 64
+		if nsegs > 1<<16 {
+			nsegs = 1 << 16
+		}
+		snd.segs = make([]segment, 0, nsegs)
+	}
 	return snd
 }
 
@@ -552,22 +565,20 @@ func (s *Sender) transmitSeg(i int, isRetx bool, mark packet.Mark) {
 		}
 		s.rec.RetxPackets++
 	}
+	// Field-by-field fill: NewPacket returns a zeroed struct, and a
+	// composite-literal assignment would redundantly copy the whole
+	// (INT-array-bearing) packet through a stack temporary.
 	pkt := s.host.NewPacket()
-	*pkt = packet.Packet{
-		Flow: s.flow.ID, Dst: s.flow.Dst,
-		Type: packet.Data,
-		TC:   s.cfg.TrafficClass,
-		Seq:  seg.start, Len: int(seg.end - seg.start),
-		Mark: mark,
-		ECT:  s.cfg.ECN,
-		SentAt: func() sim.Time {
-			if isRetx {
-				return 0 // Karn: no RTT sample from retransmissions
-			}
-			return now
-		}(),
-		IsRetx: isRetx,
+	pkt.Flow, pkt.Dst = s.flow.ID, s.flow.Dst
+	pkt.Type = packet.Data
+	pkt.TC = s.cfg.TrafficClass
+	pkt.Seq, pkt.Len = seg.start, int(seg.end-seg.start)
+	pkt.Mark = mark
+	pkt.ECT = s.cfg.ECN
+	if !isRetx {
+		pkt.SentAt = now // Karn: no RTT sample from retransmissions
 	}
+	pkt.IsRetx = isRetx
 	s.accountSend(pkt)
 	s.host.Send(pkt)
 }
@@ -629,15 +640,13 @@ func (s *Sender) importantClock() {
 		return
 	}
 	pkt := s.host.NewPacket()
-	*pkt = packet.Packet{
-		Flow: s.flow.ID, Dst: s.flow.Dst,
-		Type: packet.Data,
-		TC:   s.cfg.TrafficClass,
-		Seq:  seq, Len: 1,
-		Mark:   s.tlt.TakeClockMark(now),
-		ECT:    s.cfg.ECN,
-		IsRetx: true,
-	}
+	pkt.Flow, pkt.Dst = s.flow.ID, s.flow.Dst
+	pkt.Type = packet.Data
+	pkt.TC = s.cfg.TrafficClass
+	pkt.Seq, pkt.Len = seq, 1
+	pkt.Mark = s.tlt.TakeClockMark(now)
+	pkt.ECT = s.cfg.ECN
+	pkt.IsRetx = true
 	s.rec.ClockSends++
 	s.rec.ClockBytes++
 	s.accountSend(pkt)
