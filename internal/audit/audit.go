@@ -14,6 +14,15 @@
 //   - PFC XOFF/XON frames strictly alternate per ingress port;
 //   - at most one important packet in flight per window-based flow.
 //
+// On top of the invariant checks, the auditor watches PFC pause state as
+// a failure-domain detector: it accounts per-port pause durations
+// (flagging storm suspects whose continuous pause exceeds a threshold)
+// and maintains a pause wait-for graph over registered switch-to-switch
+// links, counting cycles — the CBD (cyclic buffer dependency) signature
+// of PFC deadlock. Deadlocks and storms are network pathologies, not
+// simulator bugs, so they are counted as findings rather than strict
+// violations.
+//
 // In strict mode (the default) the first violation panics with a
 // packet-level context dump naming the switch, port, and packet, so a
 // broken invariant stops the run at the exact event that broke it
@@ -22,6 +31,7 @@ package audit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tlt/internal/fabric"
@@ -49,8 +59,37 @@ type Auditor struct {
 	// so "zero violations" can be distinguished from "never attached".
 	Events int64
 
+	// StormThreshold classifies a port as a pause-storm suspect when one
+	// continuous received-pause stretch reaches it.
+	StormThreshold sim.Time
+	// StormSuspects counts pause stretches that crossed StormThreshold.
+	StormSuspects int64
+	// DeadlockCycles counts pause events that closed a cycle in the
+	// wait-for graph (a PFC deadlock signature). DeadlockLast describes
+	// the most recent one.
+	DeadlockCycles int64
+	DeadlockLast   string
+
 	switches map[*fabric.Switch]*swShadow
 	imp      map[packet.FlowID]impState
+
+	// Pause wait-for graph: peers maps a switch egress port to the
+	// downstream device it feeds (registered by the harness from the
+	// topology); edges[u][v] counts u's ports currently pause-blocked
+	// by v.
+	peers map[portKey]packet.NodeID
+	edges map[packet.NodeID]map[packet.NodeID]int
+
+	// Received-pause accounting per switch egress port.
+	pauseOpen map[portKey]sim.Time // open stretch start
+	pauseCum  map[portKey]sim.Time // cumulative paused time
+	pauseMax  map[portKey]sim.Time // longest closed stretch
+}
+
+// portKey identifies one egress port of one switch.
+type portKey struct {
+	sw   *fabric.Switch
+	port int
 }
 
 // swShadow is the auditor's independent re-derivation of one switch's
@@ -69,11 +108,24 @@ type impState struct {
 // New returns a strict auditor.
 func New(s *sim.Sim) *Auditor {
 	return &Auditor{
-		sim:      s,
-		Strict:   true,
-		switches: make(map[*fabric.Switch]*swShadow),
-		imp:      make(map[packet.FlowID]impState),
+		sim:            s,
+		Strict:         true,
+		StormThreshold: sim.Millisecond,
+		switches:       make(map[*fabric.Switch]*swShadow),
+		imp:            make(map[packet.FlowID]impState),
+		peers:          make(map[portKey]packet.NodeID),
+		edges:          make(map[packet.NodeID]map[packet.NodeID]int),
+		pauseOpen:      make(map[portKey]sim.Time),
+		pauseCum:       make(map[portKey]sim.Time),
+		pauseMax:       make(map[portKey]sim.Time),
 	}
+}
+
+// SetPortPeer registers the downstream device fed by sw's egress port,
+// giving the deadlock detector its wait-for edges. Unregistered ports
+// still get pause-duration accounting, just no graph edge.
+func (a *Auditor) SetPortPeer(sw *fabric.Switch, port int, peer packet.NodeID) {
+	a.peers[portKey{sw, port}] = peer
 }
 
 // AttachSwitch registers the auditor as sw's audit hook.
@@ -206,6 +258,23 @@ func (a *Auditor) OnDrop(sw *fabric.Switch, egress, tc int, pkt *packet.Packet, 
 	}
 
 	switch reason {
+	case fabric.DropReasonWatchdog, fabric.DropReasonSwitchFail:
+		// Flush drops: the packet was already buffered, so unlike
+		// admission drops they release occupancy in the shadow too.
+		sh.used -= size
+		key := [2]int{egress, tc}
+		sh.queues[key] -= size
+		if sh.queues[key] < 0 {
+			a.violate(ctx("flush drop from empty shadow queue"))
+		}
+		if reason == fabric.DropReasonWatchdog && !cfg.PFCWatchdog {
+			a.violate(ctx("watchdog drop with watchdog disabled"))
+		}
+		if reason == fabric.DropReasonSwitchFail && !sw.Failed() {
+			a.violate(ctx("switch-fail flush on a live switch"))
+		}
+		a.checkAccounting(sw, sh, egress, tc, pkt, "flush")
+		return
 	case fabric.DropReasonBufferFull:
 		if free >= size {
 			a.violate(ctx("buffer-full drop with headroom"))
@@ -251,6 +320,135 @@ func (a *Auditor) OnPFC(sw *fabric.Switch, port int, pause bool) {
 	}
 }
 
+// OnPauseRx implements fabric.AuditHook: track received-pause stretches
+// per egress port and maintain the pause wait-for graph.
+func (a *Auditor) OnPauseRx(sw *fabric.Switch, port int, paused bool) {
+	a.Events++
+	k := portKey{sw, port}
+	if paused {
+		a.pauseOpen[k] = a.sim.Now()
+		if peer, ok := a.peers[k]; ok {
+			a.addEdge(sw.ID(), peer, port)
+		}
+		return
+	}
+	a.closePause(k)
+	if peer, ok := a.peers[k]; ok {
+		a.dropEdge(sw.ID(), peer)
+	}
+}
+
+// closePause folds an open pause stretch into the per-port accounting.
+func (a *Auditor) closePause(k portKey) {
+	start, open := a.pauseOpen[k]
+	if !open {
+		return
+	}
+	delete(a.pauseOpen, k)
+	d := a.sim.Now() - start
+	a.pauseCum[k] += d
+	if d > a.pauseMax[k] {
+		a.pauseMax[k] = d
+	}
+	if a.StormThreshold > 0 && d >= a.StormThreshold {
+		a.StormSuspects++
+	}
+}
+
+// addEdge records that u's egress port is pause-blocked by v and checks
+// whether the new edge closed a cycle — the circular-wait signature of
+// PFC deadlock.
+func (a *Auditor) addEdge(u, v packet.NodeID, port int) {
+	m := a.edges[u]
+	if m == nil {
+		m = make(map[packet.NodeID]int)
+		a.edges[u] = m
+	}
+	m[v]++
+	if m[v] == 1 && a.reaches(v, u, make(map[packet.NodeID]bool)) {
+		a.DeadlockCycles++
+		a.DeadlockLast = fmt.Sprintf("pause cycle closed at t=%v: switch %d port %d blocked by %d",
+			a.sim.Now(), u, port, v)
+	}
+}
+
+func (a *Auditor) dropEdge(u, v packet.NodeID) {
+	if m := a.edges[u]; m != nil {
+		if m[v]--; m[v] <= 0 {
+			delete(m, v)
+		}
+	}
+}
+
+// reaches reports whether `to` is reachable from `from` over active
+// wait-for edges.
+func (a *Auditor) reaches(from, to packet.NodeID, seen map[packet.NodeID]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for next := range a.edges[from] {
+		if a.reaches(next, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// OnReset implements fabric.AuditHook: a rebooted switch restarts with a
+// zeroed MMU, so the shadow — and everything the pause trackers knew
+// about it — is discarded.
+func (a *Auditor) OnReset(sw *fabric.Switch) {
+	a.Events++
+	a.switches[sw] = &swShadow{
+		queues: make(map[[2]int]int64),
+		paused: make(map[int]bool),
+	}
+	for p := 0; p < sw.NumPorts(); p++ {
+		k := portKey{sw, p}
+		a.closePause(k)
+		if peer, ok := a.peers[k]; ok {
+			a.dropEdge(sw.ID(), peer)
+		}
+	}
+}
+
+// FinishPauses closes still-open pause stretches at the end of a run so
+// cumulative accounting (and storm detection on never-released ports)
+// is complete.
+func (a *Auditor) FinishPauses() {
+	for _, sw := range a.sortedSwitches() {
+		for p := 0; p < sw.NumPorts(); p++ {
+			a.closePause(portKey{sw, p})
+		}
+	}
+}
+
+// sortedSwitches returns the audited switches in ID order so iteration
+// effects (storm-suspect counting order) are deterministic.
+func (a *Auditor) sortedSwitches() []*fabric.Switch {
+	out := make([]*fabric.Switch, 0, len(a.switches))
+	for sw := range a.switches {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// PausedCum returns the cumulative received-pause time of one egress
+// port (complete only after FinishPauses).
+func (a *Auditor) PausedCum(sw *fabric.Switch, port int) sim.Time {
+	return a.pauseCum[portKey{sw, port}]
+}
+
+// PausedMax returns the longest closed pause stretch of one egress port.
+func (a *Auditor) PausedMax(sw *fabric.Switch, port int) sim.Time {
+	return a.pauseMax[portKey{sw, port}]
+}
+
 // OnImportantSend implements core.Audit: a window-based flow may never
 // have two important packets in flight.
 func (a *Auditor) OnImportantSend(flow packet.FlowID, now sim.Time) {
@@ -271,9 +469,16 @@ func (a *Auditor) OnImportantClear(flow packet.FlowID, now sim.Time) {
 
 // Summary renders a one-line audit result for reports.
 func (a *Auditor) Summary() string {
+	s := ""
 	if a.Violations == 0 {
-		return fmt.Sprintf("audit: %d events, 0 violations", a.Events)
+		s = fmt.Sprintf("audit: %d events, 0 violations", a.Events)
+	} else {
+		s = fmt.Sprintf("audit: %d events, %d VIOLATIONS (last: %s)",
+			a.Events, a.Violations, strings.SplitN(a.Last, "\n", 2)[0])
 	}
-	return fmt.Sprintf("audit: %d events, %d VIOLATIONS (last: %s)",
-		a.Events, a.Violations, strings.SplitN(a.Last, "\n", 2)[0])
+	if a.DeadlockCycles > 0 || a.StormSuspects > 0 {
+		s += fmt.Sprintf("; pfc findings: %d deadlock cycles, %d storm suspects",
+			a.DeadlockCycles, a.StormSuspects)
+	}
+	return s
 }

@@ -1,0 +1,189 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/topo"
+)
+
+// ringSwitches builds n standalone audited switches with registered
+// ring adjacency: switch i's port 0 feeds switch (i+1)%n.
+func ringSwitches(t *testing.T, n int) (*sim.Sim, []*fabric.Switch, *Auditor) {
+	t.Helper()
+	s := sim.New()
+	a := New(s)
+	sws := make([]*fabric.Switch, n)
+	for i := range sws {
+		sws[i] = fabric.NewSwitch(s, packet.NodeID(1000+i), sim.NewRNG(int64(i)),
+			fabric.SwitchConfig{Ports: 2, BufferBytes: 100_000, Alpha: 1})
+		a.AttachSwitch(sws[i])
+	}
+	for i := range sws {
+		a.SetPortPeer(sws[i], 0, sws[(i+1)%n].ID())
+	}
+	return s, sws, a
+}
+
+// TestDeadlockCycleDetected: pausing every port of a 3-switch ring
+// closes a circular wait; the last edge must trip the detector exactly
+// once, and breaking any edge must de-cycle the graph.
+func TestDeadlockCycleDetected(t *testing.T) {
+	_, sws, a := ringSwitches(t, 3)
+	a.OnPauseRx(sws[0], 0, true)
+	a.OnPauseRx(sws[1], 0, true)
+	if a.DeadlockCycles != 0 {
+		t.Fatalf("DeadlockCycles = %d before the cycle closed", a.DeadlockCycles)
+	}
+	a.OnPauseRx(sws[2], 0, true)
+	if a.DeadlockCycles != 1 {
+		t.Fatalf("DeadlockCycles = %d, want 1", a.DeadlockCycles)
+	}
+	if !strings.Contains(a.DeadlockLast, "pause cycle") {
+		t.Fatalf("DeadlockLast = %q", a.DeadlockLast)
+	}
+	// Release one edge and re-pause it: the cycle closes a second time.
+	a.OnPauseRx(sws[1], 0, false)
+	a.OnPauseRx(sws[1], 0, true)
+	if a.DeadlockCycles != 2 {
+		t.Fatalf("DeadlockCycles = %d after re-closing, want 2", a.DeadlockCycles)
+	}
+}
+
+// TestNoCycleOnChain: a linear chain of pauses (no back edge) must not
+// count as deadlock no matter how long it gets.
+func TestNoCycleOnChain(t *testing.T) {
+	_, sws, a := ringSwitches(t, 4)
+	a.OnPauseRx(sws[0], 0, true)
+	a.OnPauseRx(sws[1], 0, true)
+	a.OnPauseRx(sws[2], 0, true)
+	// sws[3]'s port 0 never pauses, so 3→0 is missing and no cycle exists.
+	if a.DeadlockCycles != 0 {
+		t.Fatalf("DeadlockCycles = %d on an acyclic chain", a.DeadlockCycles)
+	}
+}
+
+// TestStormAccounting: pause stretches accumulate per port; a stretch at
+// or past StormThreshold counts one suspect, shorter ones do not.
+func TestStormAccounting(t *testing.T) {
+	s, sws, a := ringSwitches(t, 2)
+	a.StormThreshold = 100 * us
+
+	a.OnPauseRx(sws[0], 0, true)
+	s.At(30*us, func() { a.OnPauseRx(sws[0], 0, false) }) // 30us: benign
+	s.At(50*us, func() { a.OnPauseRx(sws[0], 0, true) })
+	s.At(200*us, func() { a.OnPauseRx(sws[0], 0, false) }) // 150us: suspect
+	s.RunAll()
+
+	if a.StormSuspects != 1 {
+		t.Fatalf("StormSuspects = %d, want 1", a.StormSuspects)
+	}
+	if got := a.PausedCum(sws[0], 0); got != 180*us {
+		t.Fatalf("PausedCum = %v, want 180us", got)
+	}
+	if got := a.PausedMax(sws[0], 0); got != 150*us {
+		t.Fatalf("PausedMax = %v, want 150us", got)
+	}
+}
+
+// TestFinishPausesClosesOpenStretches: a never-released pause only shows
+// up in cumulative accounting (and storm detection) after FinishPauses.
+func TestFinishPausesClosesOpenStretches(t *testing.T) {
+	s, sws, a := ringSwitches(t, 2)
+	a.StormThreshold = 100 * us
+	a.OnPauseRx(sws[1], 0, true)
+	s.At(500*us, func() {})
+	s.RunAll()
+	if a.StormSuspects != 0 {
+		t.Fatalf("StormSuspects = %d before FinishPauses", a.StormSuspects)
+	}
+	a.FinishPauses()
+	if a.StormSuspects != 1 {
+		t.Fatalf("StormSuspects = %d after FinishPauses, want 1", a.StormSuspects)
+	}
+	if got := a.PausedCum(sws[1], 0); got != 500*us {
+		t.Fatalf("PausedCum = %v, want 500us", got)
+	}
+}
+
+// TestOnResetClearsPauseState: a rebooted switch drops its open pause
+// stretches and wait-for edges, so a cycle through it cannot complete
+// with stale state.
+func TestOnResetClearsPauseState(t *testing.T) {
+	_, sws, a := ringSwitches(t, 3)
+	a.OnPauseRx(sws[0], 0, true)
+	a.OnPauseRx(sws[1], 0, true)
+	a.OnReset(sws[1]) // reboot drops edge 1→2 and closes 1's stretches
+	a.OnPauseRx(sws[2], 0, true)
+	if a.DeadlockCycles != 0 {
+		t.Fatalf("DeadlockCycles = %d, want 0 — reset edge should have broken the cycle", a.DeadlockCycles)
+	}
+	// Re-pausing after reset restores the edge and the cycle closes.
+	a.OnPauseRx(sws[1], 0, true)
+	if a.DeadlockCycles != 1 {
+		t.Fatalf("DeadlockCycles = %d after repause, want 1", a.DeadlockCycles)
+	}
+}
+
+// TestWatchdogFlushAuditClean: end-to-end over a real star fabric — a
+// storm-wedged port mitigated by the watchdog must leave the auditor
+// with zero violations (the flush path keeps shadow accounting exact).
+func TestWatchdogFlushAuditClean(t *testing.T) {
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       4,
+		LinkRateBps: 40e9,
+		LinkDelay:   us,
+		Switch: fabric.SwitchConfig{
+			BufferBytes: 100_000, Alpha: 1,
+			PFCWatchdog:       true,
+			WatchdogThreshold: 50 * us,
+		},
+	})
+	a := New(s)
+	a.Strict = true
+	// The watchdog caps stretches near its 50us threshold, so lower the
+	// storm bar below that to observe the suspects it mitigates.
+	a.StormThreshold = 40 * us
+	a.AttachSwitch(net.Switches[0])
+	rx := &sink{}
+	net.Hosts[0].Register(1, rx)
+	for i := 0; i < 300; i++ {
+		i := i
+		s.At(sim.Time(i)*300, func() {
+			net.Hosts[1].Send(&packet.Packet{
+				Flow: 1, Dst: 0, Type: packet.Data,
+				Mark: packet.ImportantData, Len: 1000, Seq: int64(i),
+			})
+		})
+	}
+	// Host 0 wedges its switch port with refreshed pauses.
+	var emit func()
+	end := 400 * us
+	emit = func() {
+		pf := net.Hosts[0].NewPacket()
+		pf.Type = packet.Pause
+		pf.Src = net.Hosts[0].ID()
+		net.Hosts[0].NICTx().DeliverControl(pf)
+		if s.Now()+2*us < end {
+			s.After(2*us, emit)
+		}
+	}
+	s.At(10*us, emit)
+	s.RunAll()
+	a.FinishPauses()
+	sw := net.Switches[0]
+	if sw.Ctr.WatchdogFires == 0 {
+		t.Fatal("watchdog never fired")
+	}
+	if a.Violations != 0 {
+		t.Fatalf("auditor flagged %d violations on a clean watchdog flush (last: %s)",
+			a.Violations, a.Last)
+	}
+	if a.StormSuspects == 0 {
+		t.Fatal("storm-length pause stretch not flagged as suspect")
+	}
+}

@@ -1,10 +1,12 @@
 // Package chaos applies deterministic, seeded fault schedules to a
 // running network: link down/up flaps, Gilbert–Elliott bursty loss,
-// transient switch-buffer shrink, and host NIC freezes. The paper's §5
-// explicitly scopes TLT out of protecting against non-congestion losses
-// — it must degrade gracefully to timeout-driven recovery — and this
-// package exists to exercise exactly that boundary, reproducibly: the
-// same plan and seed always yield the identical fault event sequence.
+// transient switch-buffer shrink, host NIC freezes, whole-switch
+// failures with control-plane reroute, asymmetric single-port wedges,
+// and PFC pause storms. The paper's §5 explicitly scopes TLT out of
+// protecting against non-congestion losses — it must degrade gracefully
+// to timeout-driven recovery — and this package exists to exercise
+// exactly that boundary, reproducibly: the same plan and seed always
+// yield the identical fault event sequence.
 //
 // A Plan is declarative; Apply schedules its events onto a simulator
 // against a built topology. A "link" is a full-duplex pair: topology
@@ -15,6 +17,7 @@ package chaos
 import (
 	"fmt"
 
+	"tlt/internal/packet"
 	"tlt/internal/sim"
 	"tlt/internal/stats"
 	"tlt/internal/topo"
@@ -71,6 +74,47 @@ type NICFreeze struct {
 	Count    int      // occurrences when Every > 0 (0 = unbounded)
 }
 
+// SwitchFail kills a whole switch at At: every packet arriving while it
+// is down black-holes, egress serialization freezes, and the MMU
+// restarts empty at reboot (buffered packets are lost). Reroute models
+// the control plane: that long after the failure — and again after the
+// repair — static failure-aware routes are (re)installed, so the sim
+// exercises both the black-hole window and the repaired path. Reroute 0
+// means no alternate path is ever installed.
+type SwitchFail struct {
+	Switch   int      // switch index, RandomTarget for a seeded pick per occurrence
+	At       sim.Time // failure instant
+	Duration sim.Time // time to reboot (0 = permanent)
+	Reroute  sim.Time // control-plane reconvergence delay (0 = never reroute)
+	Every    sim.Time // repeat period (0 = once)
+	Count    int      // occurrences when Every > 0 (0 = unbounded)
+}
+
+// PortFail wedges a single directional transmitter of a link: frames
+// handed to it — and frames already in flight — are lost, while the
+// reverse direction keeps working. This is the asymmetric failure mode
+// (dead laser, stuck SerDes) that neither PFC nor symmetric
+// link-liveness detection sees.
+type PortFail struct {
+	Link     int // link index, RandomTarget
+	Dir      int // which direction sticks: 0 = Txs[2k], 1 = Txs[2k+1]
+	At       sim.Time
+	Duration sim.Time // 0 = permanent
+}
+
+// PauseStorm makes a host NIC emit continuous PFC PAUSE frames toward
+// its switch for a window — wedged firmware asserting flow control
+// forever — pausing the switch egress port and spreading head-of-line
+// blocking upstream until the PFC watchdog (if enabled) mitigates. When
+// the storm ends the stuck assertion clears (one RESUME is sent,
+// standing in for quanta expiry).
+type PauseStorm struct {
+	Host     int // host index, RandomTarget (picked once per storm)
+	At       sim.Time
+	Duration sim.Time
+	Refresh  sim.Time // inter-frame gap (0 = 2µs, well inside a pause quantum)
+}
+
 // Plan is a declarative fault schedule. The zero value injects nothing.
 type Plan struct {
 	// Seed salts every chaos RNG; it combines with the run seed passed
@@ -81,11 +125,15 @@ type Plan struct {
 	Bursty  []BurstyLoss
 	Shrinks []BufferShrink
 	Freezes []NICFreeze
+	SwFails []SwitchFail
+	PtFails []PortFail
+	Storms  []PauseStorm
 }
 
 // Empty reports whether the plan injects no faults.
 func (p *Plan) Empty() bool {
-	return p == nil || len(p.Flaps)+len(p.Bursty)+len(p.Shrinks)+len(p.Freezes) == 0
+	return p == nil || len(p.Flaps)+len(p.Bursty)+len(p.Shrinks)+len(p.Freezes)+
+		len(p.SwFails)+len(p.PtFails)+len(p.Storms) == 0
 }
 
 // Engine is an applied plan: it owns the scheduled fault events and the
@@ -100,16 +148,92 @@ type Engine struct {
 // NumLinks returns the number of full-duplex links in the network.
 func NumLinks(net *topo.Network) int { return len(net.Txs) / 2 }
 
-// Apply schedules the plan's events on s against net. runSeed is the
-// experiment replication seed; the same (plan, runSeed) pair always
-// produces the identical fault sequence.
-func (p *Plan) Apply(s *sim.Sim, net *topo.Network, runSeed int64) *Engine {
+// Validate checks every fault target against the built topology so a
+// bad plan fails before the run starts, with a message naming the
+// offending directive, instead of panicking mid-simulation.
+func (p *Plan) Validate(net *topo.Network) error {
+	if p.Empty() {
+		return nil
+	}
+	links, sws, hosts := NumLinks(net), len(net.Switches), len(net.Hosts)
+	idx := func(directive string, i, target, n int, pop string, allOK bool) error {
+		switch {
+		case target == RandomTarget:
+			if n == 0 {
+				return fmt.Errorf("chaos: %s[%d]: random target but the topology has no %ss", directive, i, pop)
+			}
+		case target == AllTargets:
+			if !allOK {
+				return fmt.Errorf("chaos: %s[%d]: %q target not supported here", directive, i, "all")
+			}
+			if n == 0 {
+				return fmt.Errorf("chaos: %s[%d]: %q target but the topology has no %ss", directive, i, "all", pop)
+			}
+		case target < 0 || target >= n:
+			return fmt.Errorf("chaos: %s[%d]: %s index %d out of range [0, %d)", directive, i, pop, target, n)
+		}
+		return nil
+	}
+	for i, f := range p.Flaps {
+		if err := idx("flap", i, f.Link, links, "link", false); err != nil {
+			return err
+		}
+	}
+	for i, b := range p.Bursty {
+		if err := idx("ge", i, b.Link, links, "link", true); err != nil {
+			return err
+		}
+	}
+	for i, sh := range p.Shrinks {
+		if err := idx("shrink", i, sh.Switch, sws, "switch", true); err != nil {
+			return err
+		}
+		if sh.Frac <= 0 || sh.Frac >= 1 {
+			return fmt.Errorf("chaos: shrink[%d]: frac %v outside (0, 1)", i, sh.Frac)
+		}
+	}
+	for i, fr := range p.Freezes {
+		if err := idx("freeze", i, fr.Host, hosts, "host", false); err != nil {
+			return err
+		}
+	}
+	for i, f := range p.SwFails {
+		if err := idx("swfail", i, f.Switch, sws, "switch", false); err != nil {
+			return err
+		}
+	}
+	for i, f := range p.PtFails {
+		if err := idx("portfail", i, f.Link, links, "link", false); err != nil {
+			return err
+		}
+		if f.Dir != 0 && f.Dir != 1 {
+			return fmt.Errorf("chaos: portfail[%d]: dir %d not 0 or 1", i, f.Dir)
+		}
+	}
+	for i, st := range p.Storms {
+		if err := idx("storm", i, st.Host, hosts, "host", false); err != nil {
+			return err
+		}
+		if st.Duration <= 0 {
+			return fmt.Errorf("chaos: storm[%d]: needs a positive duration", i)
+		}
+	}
+	return nil
+}
+
+// Apply validates the plan against net and schedules its events on s.
+// runSeed is the experiment replication seed; the same (plan, runSeed)
+// pair always produces the identical fault sequence.
+func (p *Plan) Apply(s *sim.Sim, net *topo.Network, runSeed int64) (*Engine, error) {
 	e := &Engine{
 		s: s, net: net,
 		rng: sim.NewRNG(p.Seed*0x9e3779b9 + runSeed + 0xc4a05),
 	}
 	if p.Empty() {
-		return e
+		return e, nil
+	}
+	if err := p.Validate(net); err != nil {
+		return nil, err
 	}
 	for _, f := range p.Flaps {
 		e.scheduleFlap(f)
@@ -123,7 +247,16 @@ func (p *Plan) Apply(s *sim.Sim, net *topo.Network, runSeed int64) *Engine {
 	for _, fr := range p.Freezes {
 		e.scheduleFreeze(fr)
 	}
-	return e
+	for _, f := range p.SwFails {
+		e.scheduleSwitchFail(f)
+	}
+	for _, f := range p.PtFails {
+		e.schedulePortFail(f)
+	}
+	for _, st := range p.Storms {
+		e.scheduleStorm(st)
+	}
+	return e, nil
 }
 
 func (e *Engine) pickLink(idx int) int {
@@ -260,6 +393,102 @@ func (e *Engine) scheduleFreeze(fr NICFreeze) {
 		}
 	}
 	e.s.At(fr.At, fire)
+}
+
+// scheduleSwitchFail installs a fail(/reboot) chain for one switch,
+// with the control-plane reroute trailing both transitions by the
+// reconvergence delay.
+func (e *Engine) scheduleSwitchFail(f SwitchFail) {
+	occurrences := 0
+	var fire func()
+	fire = func() {
+		idx := f.Switch
+		if idx == RandomTarget {
+			idx = e.rng.Intn(len(e.net.Switches))
+		}
+		sw := e.net.Switches[idx]
+		if !sw.Failed() {
+			sw.Fail()
+			e.ctr.SwitchFails++
+			if f.Reroute > 0 {
+				e.s.After(f.Reroute, func() {
+					e.net.SetSwitchFailed(idx, true)
+					e.net.Reroute()
+				})
+			}
+			if f.Duration > 0 {
+				e.s.After(f.Duration, func() {
+					sw.Reboot()
+					if f.Reroute > 0 {
+						e.s.After(f.Reroute, func() {
+							e.net.SetSwitchFailed(idx, false)
+							e.net.Reroute()
+						})
+					}
+				})
+			}
+		}
+		occurrences++
+		if f.Every > 0 && (f.Count == 0 || occurrences < f.Count) {
+			e.s.After(f.Every, fire)
+		}
+	}
+	e.s.At(f.At, fire)
+}
+
+// schedulePortFail wedges one direction of a link.
+func (e *Engine) schedulePortFail(f PortFail) {
+	e.s.At(f.At, func() {
+		link := e.pickLink(f.Link)
+		if link < 0 {
+			return
+		}
+		tx := e.net.Txs[2*link+f.Dir]
+		tx.SetLinkDown()
+		e.ctr.PortFails++
+		if f.Duration > 0 {
+			e.s.After(f.Duration, tx.SetLinkUp)
+		}
+	})
+}
+
+// scheduleStorm drives one pause storm: a self-rescheduling emitter
+// injects a PAUSE frame toward the host's switch every Refresh until
+// the window closes, then a single RESUME models the quanta expiring
+// with the wedge.
+func (e *Engine) scheduleStorm(st PauseStorm) {
+	refresh := st.Refresh
+	if refresh <= 0 {
+		refresh = 2 * sim.Microsecond
+	}
+	e.s.At(st.At, func() {
+		idx := st.Host
+		if idx == RandomTarget {
+			idx = e.rng.Intn(len(e.net.Hosts))
+		}
+		h := e.net.Hosts[idx]
+		end := e.s.Now() + st.Duration
+		e.ctr.PauseStorms++
+		var emit func()
+		emit = func() {
+			pf := h.NewPacket()
+			pf.Type = packet.Pause
+			pf.Src = h.ID()
+			h.NICTx().DeliverControl(pf)
+			e.ctr.StormFrames++
+			if e.s.Now()+refresh < end {
+				e.s.After(refresh, emit)
+				return
+			}
+			e.s.After(refresh, func() {
+				rf := h.NewPacket()
+				rf.Type = packet.Resume
+				rf.Src = h.ID()
+				h.NICTx().DeliverControl(rf)
+			})
+		}
+		emit()
+	})
 }
 
 // Counters returns the engine's fault counters, folding in the per-wire

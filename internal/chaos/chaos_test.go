@@ -48,7 +48,10 @@ func starRun(t *testing.T, plan *Plan, runSeed int64, pkts int, spacing sim.Time
 			})
 		})
 	}
-	eng := plan.Apply(s, net, runSeed)
+	eng, err := plan.Apply(s, net, runSeed)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
 	s.RunAll()
 	return rx, eng.Counters(), net
 }
@@ -96,6 +99,17 @@ func TestParseErrors(t *testing.T) {
 		{"freeze:host=0,at=1ms", "needs dur"},
 		{"flap:down=abc", "time"},
 		{"seed=xyz", "bad seed"},
+		{"swfail:switch=0,banana=1", "unknown key"},
+		{"swfail:at=-1ms", "negative duration"},
+		{"portfail:link=0,dir=5", "dir=0 or dir=1"},
+		{"portfail:dir=zero", "invalid syntax"},
+		{"storm:host=0", "needs dur"},
+		{"storm:host=0,dur=-5us", "negative duration"},
+		{"storm:host=0,dur=1ms,refresh=oops", "time"},
+		{"ge:link=0,loss=1.5", "outside [0, 1]"},
+		{"ge:link=0,loss=NaN", "outside [0, 1]"},
+		{"shrink:at=1ms,dur=1ms,frac=bogus", "invalid syntax"},
+		{"freeze:host=-2,at=1ms,dur=1ms", "non-negative index"},
 	} {
 		if _, err := Parse(tc.spec); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("Parse(%q) err = %v, want substring %q", tc.spec, err, tc.wantErr)
@@ -174,7 +188,9 @@ func TestShrinkRestores(t *testing.T) {
 		Hosts: 2, LinkRateBps: 40e9, LinkDelay: us,
 		Switch: fabric.SwitchConfig{BufferBytes: 100_000, Alpha: 1},
 	})
-	plan.Apply(s, net, 1)
+	if _, err := plan.Apply(s, net, 1); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
 	sw := net.Switches[0]
 	s.At(30*us, func() {
 		if got := sw.BufferLimit(); got != 10_000 {
@@ -184,6 +200,200 @@ func TestShrinkRestores(t *testing.T) {
 	s.RunAll()
 	if got := sw.BufferLimit(); got != 100_000 {
 		t.Errorf("post-shrink BufferLimit = %d, want restored 100000", got)
+	}
+}
+
+// TestSwitchFailBlackHoles: a dead switch eats every data packet until
+// it reboots; deliveries resume afterwards and the black-hole drops are
+// counted under DropSwitchFail.
+func TestSwitchFailBlackHoles(t *testing.T) {
+	plan := &Plan{SwFails: []SwitchFail{{Switch: 0, At: 50 * us, Duration: 100 * us}}}
+	rx, ctr, net := starRun(t, plan, 1, 400, 500)
+	if ctr.SwitchFails != 1 {
+		t.Fatalf("SwitchFails = %d, want 1", ctr.SwitchFails)
+	}
+	sw := net.Switches[0]
+	if sw.Ctr.DropSwitchFail == 0 {
+		t.Fatal("no DropSwitchFail despite traffic during the outage")
+	}
+	if sw.Failed() {
+		t.Fatal("switch still failed after its repair duration")
+	}
+	if rx.n >= 400 {
+		t.Fatalf("delivered %d of 400, expected black-hole losses", rx.n)
+	}
+	if rx.last < 150*us {
+		t.Fatalf("last delivery at %v — traffic never resumed after reboot at 150us", rx.last)
+	}
+}
+
+// TestSwitchFailPermanent: dur=0 kills the switch for good; nothing is
+// delivered after the failure instant.
+func TestSwitchFailPermanent(t *testing.T) {
+	plan := &Plan{SwFails: []SwitchFail{{Switch: 0, At: 50 * us}}}
+	rx, _, net := starRun(t, plan, 1, 400, 500)
+	if !net.Switches[0].Failed() {
+		t.Fatal("switch recovered from a permanent failure")
+	}
+	// Packets already on the wire at t=50us still land (2µs delay): allow
+	// a small grace window, then silence.
+	if rx.last > 60*us {
+		t.Fatalf("delivery at %v, after permanent switch death at 50us", rx.last)
+	}
+	if rx.n == 0 {
+		t.Fatal("nothing delivered before the failure")
+	}
+}
+
+// TestPortFailWedgesOneDirection: portfail link=0,dir=0 wedges the
+// host-0→switch transmitter (Txs[0]); the reverse direction and other
+// links stay up.
+func TestPortFailWedgesOneDirection(t *testing.T) {
+	plan := &Plan{PtFails: []PortFail{{Link: 0, Dir: 0, At: 50 * us}}}
+	rx, ctr, net := starRun(t, plan, 1, 400, 500)
+	if ctr.PortFails != 1 {
+		t.Fatalf("PortFails = %d, want 1", ctr.PortFails)
+	}
+	if !net.Txs[0].LinkDown() {
+		t.Fatal("Txs[0] not down after portfail dir=0")
+	}
+	if net.Txs[1].LinkDown() {
+		t.Fatal("portfail dir=0 also took down the reverse transmitter")
+	}
+	if rx.n >= 400 || rx.n == 0 {
+		t.Fatalf("delivered %d of 400, want some before the failure and none after", rx.n)
+	}
+	// With a duration the transmitter comes back.
+	plan = &Plan{PtFails: []PortFail{{Link: 0, Dir: 0, At: 50 * us, Duration: 30 * us}}}
+	rx, _, net = starRun(t, plan, 1, 400, 500)
+	if net.Txs[0].LinkDown() {
+		t.Fatal("Txs[0] still down after repair")
+	}
+	if rx.last < 80*us {
+		t.Fatalf("last delivery at %v — traffic never resumed after repair", rx.last)
+	}
+}
+
+// TestPauseStormWedgesPort: a storming host pauses its switch port; with
+// no watchdog the port stays latched for the storm duration and traffic
+// toward the stormer stalls until the final resume frame.
+func TestPauseStormWedgesPort(t *testing.T) {
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       4,
+		LinkRateBps: 40e9,
+		LinkDelay:   5 * us,
+		Switch:      fabric.SwitchConfig{BufferBytes: 300_000, Alpha: 1},
+	})
+	rx := &rxCount{s: s}
+	net.Hosts[0].Register(1, rx)
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(sim.Time(i)*500, func() {
+			net.Hosts[1].Send(&packet.Packet{
+				Flow: 1, Dst: 0, Type: packet.Data,
+				Mark: packet.ImportantData, Len: 1000, Seq: int64(i),
+			})
+		})
+	}
+	stormEnd := 300 * us
+	plan := &Plan{Storms: []PauseStorm{{Host: 0, At: 10 * us, Duration: stormEnd - 10*us}}}
+	eng, err := plan.Apply(s, net, 1)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s.RunAll()
+	ctr := eng.Counters()
+	if ctr.PauseStorms != 1 {
+		t.Fatalf("PauseStorms = %d, want 1", ctr.PauseStorms)
+	}
+	if ctr.StormFrames < 10 {
+		t.Fatalf("StormFrames = %d, want a continuous refresh stream", ctr.StormFrames)
+	}
+	if rx.n != 100 {
+		t.Fatalf("delivered %d of 100 — pause must stall, not drop", rx.n)
+	}
+	if rx.last < stormEnd {
+		t.Fatalf("last delivery at %v, before the storm ended at %v", rx.last, stormEnd)
+	}
+}
+
+// TestWatchdogFiresOnStorm is the acceptance-criteria storm test: with
+// the PFC watchdog armed, an injected pause storm trips the mitigation —
+// the switch flushes and unpauses the wedged port instead of latching
+// for the storm's whole lifetime.
+func TestWatchdogFiresOnStorm(t *testing.T) {
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts:       4,
+		LinkRateBps: 40e9,
+		LinkDelay:   5 * us,
+		Switch: fabric.SwitchConfig{
+			BufferBytes: 300_000, Alpha: 1,
+			PFCWatchdog:       true,
+			WatchdogThreshold: 50 * us,
+		},
+	})
+	rx := &rxCount{s: s}
+	net.Hosts[0].Register(1, rx)
+	for i := 0; i < 200; i++ {
+		i := i
+		s.At(sim.Time(i)*500, func() {
+			net.Hosts[1].Send(&packet.Packet{
+				Flow: 1, Dst: 0, Type: packet.Data,
+				Mark: packet.ImportantData, Len: 1000, Seq: int64(i),
+			})
+		})
+	}
+	plan := &Plan{Storms: []PauseStorm{{Host: 0, At: 10 * us, Duration: 500 * us}}}
+	eng, err := plan.Apply(s, net, 1)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s.RunAll()
+	sw := net.Switches[0]
+	if sw.Ctr.WatchdogFires == 0 {
+		t.Fatal("watchdog never fired on a continuous pause storm")
+	}
+	if sw.Ctr.WatchdogDrops == 0 {
+		t.Fatal("watchdog fired but flushed nothing despite a backlogged port")
+	}
+	if eng.Counters().StormFrames == 0 {
+		t.Fatal("storm emitted no pause frames")
+	}
+	// Mitigation must beat the storm: deliveries resume well before the
+	// storm's natural end at 510us would unlatch the port.
+	if rx.last >= 510*us && rx.n == 0 {
+		t.Fatal("no deliveries until storm end — mitigation had no effect")
+	}
+	if rx.n == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestValidateRejectsBadTargets: Apply must fail fast with a descriptive
+// error instead of panicking mid-run on an out-of-range target.
+func TestValidateRejectsBadTargets(t *testing.T) {
+	s := sim.New()
+	net := topo.Star(s, topo.StarConfig{
+		Hosts: 2, LinkRateBps: 40e9, LinkDelay: us,
+		Switch: fabric.SwitchConfig{BufferBytes: 100_000, Alpha: 1},
+	})
+	for _, tc := range []struct {
+		plan    *Plan
+		wantErr string
+	}{
+		{&Plan{SwFails: []SwitchFail{{Switch: 7}}}, "swfail[0]: switch index 7 out of range"},
+		{&Plan{Flaps: []LinkFlap{{Link: 99, Down: us}}}, "flap[0]: link index 99 out of range"},
+		{&Plan{Freezes: []NICFreeze{{Host: -3, Duration: us}}}, "host index -3 out of range"},
+		{&Plan{PtFails: []PortFail{{Link: 0, Dir: 2}}}, "dir 2"},
+		{&Plan{Storms: []PauseStorm{{Host: 0}}}, "storm[0]"},
+		{&Plan{Shrinks: []BufferShrink{{Switch: 4, Frac: 0.5, Duration: us}}}, "shrink[0]: switch index 4 out of range"},
+	} {
+		_, err := tc.plan.Apply(s, net, 1)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Apply(%+v) err = %v, want substring %q", tc.plan, err, tc.wantErr)
+		}
 	}
 }
 

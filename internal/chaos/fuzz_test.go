@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse asserts the spec grammar's contract on arbitrary input:
+// Parse either returns a descriptive error or a plan whose every field
+// is internally consistent — no panics, no NaN probabilities, no
+// negative durations, no accepted-but-invalid plans. Run with
+//
+//	go test -fuzz=FuzzParse ./internal/chaos/
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"flap:link=rand,at=1ms,down=200us,every=2ms,count=5,until=20ms",
+		"ge:link=all,pgb=0.001,pbg=0.1,loss=0.3,lossgood=0.01,start=1ms,stop=5ms",
+		"shrink:switch=0,at=1ms,dur=500us,frac=0.25",
+		"freeze:host=3,at=2ms,dur=1ms",
+		"swfail:switch=12,at=1ms,dur=2ms,reroute=200us,every=5ms,count=2",
+		"portfail:link=4,dir=1,at=1ms,dur=500us",
+		"storm:host=0,at=1ms,dur=1ms,refresh=5us",
+		"seed=7;flap:down=1ms;storm:host=rand,dur=2ms",
+		"flap:down=-1ms",
+		"ge:loss=NaN",
+		"storm:dur=1ms,refresh=",
+		";;;",
+		"swfail:switch=rand",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatalf("Parse(%q) returned neither plan nor error", spec)
+		}
+		checkDur := func(what string, ds ...int64) {
+			for _, d := range ds {
+				if d < 0 {
+					t.Fatalf("Parse(%q) accepted negative %s duration %d", spec, what, d)
+				}
+			}
+		}
+		checkProb := func(what string, ps ...float64) {
+			for _, pr := range ps {
+				if math.IsNaN(pr) || pr < 0 || pr > 1 {
+					t.Fatalf("Parse(%q) accepted %s probability %v", spec, what, pr)
+				}
+			}
+		}
+		checkTarget := func(what string, v int) {
+			if v < 0 && v != RandomTarget && v != AllTargets {
+				t.Fatalf("Parse(%q) accepted %s target %d", spec, what, v)
+			}
+		}
+		for _, fl := range p.Flaps {
+			checkDur("flap", int64(fl.At), int64(fl.Down), int64(fl.Every), int64(fl.Until))
+			checkTarget("flap", fl.Link)
+			if fl.Down <= 0 {
+				t.Fatalf("Parse(%q) accepted flap without down", spec)
+			}
+		}
+		for _, b := range p.Bursty {
+			checkDur("ge", int64(b.Start), int64(b.Stop))
+			checkProb("ge", b.PGoodBad, b.PBadGood, b.LossGood, b.LossBad)
+			checkTarget("ge", b.Link)
+		}
+		for _, sh := range p.Shrinks {
+			checkDur("shrink", int64(sh.At), int64(sh.Duration))
+			checkTarget("shrink", sh.Switch)
+			if sh.Frac <= 0 || sh.Frac >= 1 {
+				t.Fatalf("Parse(%q) accepted shrink frac %v", spec, sh.Frac)
+			}
+		}
+		for _, fr := range p.Freezes {
+			checkDur("freeze", int64(fr.At), int64(fr.Duration))
+			checkTarget("freeze", fr.Host)
+			if fr.Duration <= 0 {
+				t.Fatalf("Parse(%q) accepted freeze without dur", spec)
+			}
+		}
+		for _, sf := range p.SwFails {
+			checkDur("swfail", int64(sf.At), int64(sf.Duration), int64(sf.Reroute), int64(sf.Every))
+			checkTarget("swfail", sf.Switch)
+		}
+		for _, pf := range p.PtFails {
+			checkDur("portfail", int64(pf.At), int64(pf.Duration))
+			checkTarget("portfail", pf.Link)
+			if pf.Dir != 0 && pf.Dir != 1 {
+				t.Fatalf("Parse(%q) accepted portfail dir %d", spec, pf.Dir)
+			}
+		}
+		for _, st := range p.Storms {
+			checkDur("storm", int64(st.At), int64(st.Duration), int64(st.Refresh))
+			checkTarget("storm", st.Host)
+			if st.Duration <= 0 {
+				t.Fatalf("Parse(%q) accepted storm without dur", spec)
+			}
+		}
+	})
+}

@@ -19,8 +19,16 @@ import (
 //	ge:link=all,pgb=0.001,pbg=0.1,loss=0.3,start=0s
 //	shrink:switch=0,at=1ms,dur=500us,frac=0.25
 //	freeze:host=3,at=2ms,dur=1ms
+//	swfail:switch=12,at=1ms,dur=2ms,reroute=200us
+//	portfail:link=4,dir=0,at=1ms,dur=500us
+//	storm:host=0,at=1ms,dur=1ms,refresh=5us
 //
 // Example: "seed=7;flap:link=rand,at=1ms,down=100us,every=1ms;ge:link=0,pgb=0.01,pbg=0.2,loss=0.5"
+//
+// swfail with dur=0 is a permanent failure; reroute=0 never installs
+// alternate routes (the black-hole persists until repair). portfail
+// wedges one direction only (dir selects which transmitter of the
+// pair). All durations must be non-negative.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, directive := range strings.Split(spec, ";") {
@@ -109,8 +117,43 @@ func Parse(spec string) (*Plan, error) {
 				err = fmt.Errorf("freeze needs dur=<duration>")
 			}
 			p.Freezes = append(p.Freezes, f)
+		case "swfail":
+			f := SwitchFail{Switch: RandomTarget}
+			err = kv.apply(map[string]func(string) error{
+				"switch":  kv.target(&f.Switch, "rand", RandomTarget),
+				"at":      kv.dur(&f.At),
+				"dur":     kv.dur(&f.Duration),
+				"reroute": kv.dur(&f.Reroute),
+				"every":   kv.dur(&f.Every),
+				"count":   kv.num(&f.Count),
+			})
+			p.SwFails = append(p.SwFails, f)
+		case "portfail":
+			f := PortFail{Link: RandomTarget}
+			err = kv.apply(map[string]func(string) error{
+				"link": kv.target(&f.Link, "rand", RandomTarget),
+				"dir":  kv.num(&f.Dir),
+				"at":   kv.dur(&f.At),
+				"dur":  kv.dur(&f.Duration),
+			})
+			if err == nil && f.Dir != 0 && f.Dir != 1 {
+				err = fmt.Errorf("portfail needs dir=0 or dir=1")
+			}
+			p.PtFails = append(p.PtFails, f)
+		case "storm":
+			st := PauseStorm{Host: RandomTarget}
+			err = kv.apply(map[string]func(string) error{
+				"host":    kv.target(&st.Host, "rand", RandomTarget),
+				"at":      kv.dur(&st.At),
+				"dur":     kv.dur(&st.Duration),
+				"refresh": kv.dur(&st.Refresh),
+			})
+			if err == nil && st.Duration <= 0 {
+				err = fmt.Errorf("storm needs dur=<duration>")
+			}
+			p.Storms = append(p.Storms, st)
 		default:
-			return nil, fmt.Errorf("chaos: unknown directive %q (want flap, ge, shrink, freeze, seed)", name)
+			return nil, fmt.Errorf("chaos: unknown directive %q (want flap, ge, shrink, freeze, swfail, portfail, storm, seed)", name)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("chaos: directive %q: %v", directive, err)
@@ -157,6 +200,9 @@ func (kvArgs) dur(dst *sim.Time) func(string) error {
 		if err != nil {
 			return err
 		}
+		if d < 0 {
+			return fmt.Errorf("negative duration %v", d)
+		}
 		*dst = sim.Time(d.Nanoseconds())
 		return nil
 	}
@@ -179,7 +225,9 @@ func (kvArgs) prob(dst *float64) func(string) error {
 		if err != nil {
 			return err
 		}
-		if f < 0 || f > 1 {
+		// The negated form also rejects NaN, which compares false to
+		// everything and would otherwise slip through.
+		if !(f >= 0 && f <= 1) {
 			return fmt.Errorf("%v outside [0, 1]", f)
 		}
 		*dst = f

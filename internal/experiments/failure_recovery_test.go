@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+
+	"tlt/internal/chaos"
+	"tlt/internal/sim"
+	"tlt/internal/stats"
+	"tlt/internal/transport"
+)
+
+// TestPermanentBlackHoleEveryFlowTerminal: a spine dies forever with no
+// reroute, so every flow hashed across it faces a permanent black hole.
+// With retry exhaustion configured, every flow must still reach a
+// terminal state — completed or aborted, never silently stuck.
+func TestPermanentBlackHoleEveryFlowTerminal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	plan := &chaos.Plan{Seed: 1, SwFails: []chaos.SwitchFail{{
+		Switch: 12, // first spine: Duration 0 = permanent, Reroute 0 = never
+		At:     100 * sim.Microsecond,
+	}}}
+	for _, v := range []Variant{
+		{Transport: "dctcp", TLT: true},
+		{Transport: "dcqcn", PFC: true},
+		{Transport: "hpcc"},
+	} {
+		v := v
+		v.MaxRetries = 6
+		v.MaxBackoffShift = 4
+		t.Run(v.Name(), func(t *testing.T) {
+			res := Run(RunConfig{
+				Variant: v,
+				Traffic: trafficFor(tinyScale(), 0.4, 0.05),
+				Seed:    1,
+				Faults:  plan,
+			})
+			if res.Ctr.DropSwitchFail == 0 {
+				t.Fatal("dead spine dropped nothing — fault did not land")
+			}
+			if res.Aborted == 0 {
+				t.Fatal("no flow aborted against a permanent black hole")
+			}
+			done := 0
+			for _, fr := range res.Rec.Flows {
+				switch {
+				case fr.Done && fr.Aborted:
+					t.Fatalf("flow %d both done and aborted", fr.Flow.ID)
+				case fr.Done:
+					done++
+				case fr.Aborted:
+					if fr.End == 0 {
+						t.Fatalf("aborted flow %d has no end stamp", fr.Flow.ID)
+					}
+				default:
+					t.Fatalf("flow %d neither completed nor aborted", fr.Flow.ID)
+				}
+			}
+			if res.Incomplete != 0 {
+				t.Fatalf("Incomplete = %d with every flow terminal", res.Incomplete)
+			}
+			if done+res.Aborted != res.FlowCount {
+				t.Fatalf("done %d + aborted %d != %d flows", done, res.Aborted, res.FlowCount)
+			}
+			// Aborted senders are torn down, so the stall report must not
+			// name them as starved.
+			for _, fs := range res.Stalls {
+				t.Fatalf("stall report names flow %d after terminal teardown", fs.Flow)
+			}
+		})
+	}
+}
+
+// TestRecoveryMetricsFold: the dip/recovery fold over a synthetic record —
+// steady pre-fault goodput, one crushed bin, then restoration — must
+// report the crushed bin's fraction and the first healthy bin's offset.
+func TestRecoveryMetricsFold(t *testing.T) {
+	rec := stats.NewRecorder()
+	const faultAt = 200 * sim.Microsecond
+	bin := recoveryBin
+	add := func(end sim.Time, bytes int64) {
+		fr := rec.NewFlowRecord(&transport.Flow{Size: bytes})
+		rec.FlowDone(fr, end)
+	}
+	// Two pre-fault bins at 100 kB each establish the baseline.
+	add(faultAt-bin-bin/2, 100_000)
+	add(faultAt-bin/2, 100_000)
+	// The fault bin collapses to 10 kB; every later bin in the 4 ms scan
+	// window restores to baseline (the fold scans the full window, so an
+	// empty tail bin would register as a deeper dip).
+	add(faultAt+bin/2, 10_000)
+	for b := sim.Time(1); b*bin < 4*sim.Millisecond; b++ {
+		add(faultAt+b*bin+bin/2, 100_000)
+	}
+	res := &Result{Rec: rec, Elapsed: 10 * sim.Millisecond}
+	res.FlowCount = len(rec.Flows)
+
+	dip, recovery := recoveryMetrics(res, faultAt)
+	if dip < 0.09 || dip > 0.11 {
+		t.Fatalf("dip = %v, want ~0.1 (worst bin at 10kB of a 100kB baseline)", dip)
+	}
+	if recovery != bin {
+		t.Fatalf("recovery = %v, want %v (second post-fault bin is healthy)", recovery, bin)
+	}
+}

@@ -31,6 +31,7 @@ var All = []Entry{
 	{"ablation-n", "periodic marking interval N (§5.2 footnote)", AblationPeriodN},
 	{"ablation-alpha", "dynamic threshold alpha (§4.2)", AblationAlpha},
 	{"chaos-recovery", "FCT degradation under link flaps (graceful degradation)", ChaosRecovery},
+	{"failure-recovery", "switch failure + pause storm: reroute, watchdog, abort", FailureRecovery},
 }
 
 // ByID returns the entry with the given ID.

@@ -36,6 +36,18 @@ type RunConfig struct {
 	// Faults, when non-nil, applies a deterministic chaos schedule to
 	// the network (RunGrid fills in the session harness plan when nil).
 	Faults *chaos.Plan
+
+	// WatchdogThreshold, when non-zero, enables the commodity-style PFC
+	// watchdog on every switch: a port paused continuously for this long
+	// has its queue flushed and unpaused. WatchdogRestore is the
+	// post-mitigation window during which further PAUSE frames on the
+	// port are ignored (0 → fabric default).
+	WatchdogThreshold sim.Time
+	WatchdogRestore   sim.Time
+	// HostPauseTimeout, when non-zero, bounds how long a host NIC honors
+	// a PAUSE without refresh before self-resuming (NIC pause auto-expiry
+	// — the end-host half of storm protection).
+	HostPauseTimeout sim.Time
 	// Audit attaches the strict runtime invariant auditor to every
 	// switch and TLT sender (RunGrid or's in the session harness flag).
 	Audit bool
@@ -87,6 +99,9 @@ type Result struct {
 	// Stalls holds the stall-watchdog snapshot of every incomplete
 	// flow's sender at the horizon (empty when all flows finished).
 	Stalls []transport.FlowStatus
+	// Aborted counts flows whose senders gave up (retry exhaustion);
+	// they are terminal but never counted as completed.
+	Aborted int
 
 	// Notes carries this run's harness messages (incomplete warnings,
 	// stall reports, panic captures); the grid executor merges them
@@ -172,6 +187,12 @@ func Run(rc RunConfig) *Result {
 	if rc.AlphaOverride > 0 {
 		lsCfg.Switch.Alpha = rc.AlphaOverride
 	}
+	if rc.WatchdogThreshold > 0 {
+		lsCfg.Switch.PFCWatchdog = true
+		lsCfg.Switch.WatchdogThreshold = rc.WatchdogThreshold
+		lsCfg.Switch.WatchdogRestore = rc.WatchdogRestore
+	}
+	lsCfg.HostPauseTimeout = rc.HostPauseTimeout
 	lsCfg.SeedSalt = rc.Seed
 	net := topo.LeafSpine(s, lsCfg)
 
@@ -198,6 +219,12 @@ func Run(rc RunConfig) *Result {
 		for _, sw := range net.Switches {
 			aud.AttachSwitch(sw)
 		}
+		// Register inter-switch adjacency so the auditor can build the
+		// pause wait-for graph (deadlock/storm detection).
+		for _, l := range net.SwitchLinks {
+			aud.SetPortPeer(l.A, l.APort, l.B.ID())
+			aud.SetPortPeer(l.B, l.BPort, l.A.ID())
+		}
 		coreAudit = aud
 	}
 
@@ -212,7 +239,13 @@ func Run(rc RunConfig) *Result {
 
 	var eng *chaos.Engine
 	if !rc.Faults.Empty() {
-		eng = rc.Faults.Apply(s, net, rc.Seed)
+		var err error
+		eng, err = rc.Faults.Apply(s, net, rc.Seed)
+		if err != nil {
+			res := &Result{Rec: rec, FlowCount: len(flows), Panicked: true}
+			res.Notef("%s seed %d: bad fault plan: %v", rc.label(), rc.Seed, err)
+			return res
+		}
 	}
 	if rc.Prepare != nil {
 		rc.Prepare(s, net)
@@ -271,11 +304,15 @@ func Run(rc RunConfig) *Result {
 			}
 		}
 	}
+	res.Aborted = rec.AbortedCount()
 	if eng != nil {
 		res.Faults = eng.Counters()
 	}
 	if aud != nil {
+		aud.FinishPauses()
 		res.Faults.AuditViolations = aud.Violations
+		res.Faults.PFCDeadlockCycles = aud.DeadlockCycles
+		res.Faults.PFCStormSuspects = aud.StormSuspects
 		res.AuditEvents = aud.Events
 	}
 	if remaining > 0 {
@@ -334,6 +371,8 @@ func startFlows(s *sim.Sim, net *topo.Network, flows []*transport.Flow, v Varian
 		cfg := hpcc.DefaultConfig(net.BaseRTT + 2*sim.Microsecond)
 		cfg.TLT = v.dcqcnConfig().TLT
 		cfg.TLT.Audit = tltAudit
+		cfg.RTO.MaxRetries = v.MaxRetries
+		cfg.RTO.MaxBackoffShift = v.MaxBackoffShift
 		for _, f := range flows {
 			snd, _ := hpcc.StartFlow(s, net.Hosts[f.Src], net.Hosts[f.Dst], f, cfg, rec, onDone)
 			reporters = append(reporters, snd)

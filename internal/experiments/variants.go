@@ -29,6 +29,13 @@ type Variant struct {
 	// ColorThreshold overrides the TLT color-aware dropping threshold
 	// (0 → 400 kB for the TCP family, 200 kB for RoCE).
 	ColorThreshold int64
+
+	// MaxRetries caps consecutive timeouts before the sender aborts the
+	// flow (0 = retry forever, the historical behavior). MaxBackoffShift
+	// caps exponential RTO backoff; 0 keeps the transport's default
+	// (TCP: 12, RoCE: no backoff). See transport.RTOConfig.
+	MaxRetries      int
+	MaxBackoffShift uint
 }
 
 // IsRoCE reports whether the variant uses the RoCE fabric (1 µs links).
@@ -63,6 +70,9 @@ func (v Variant) Name() string {
 	}
 	if v.PFC {
 		n += "+pfc"
+	}
+	if v.MaxRetries > 0 {
+		n += fmt.Sprintf("+retry%d", v.MaxRetries)
 	}
 	return n
 }
@@ -136,6 +146,8 @@ func (v Variant) tcpConfig() tcp.Config {
 		cfg.RTO.Fixed = v.FixedRTO
 	}
 	cfg.TLP = v.TLP
+	cfg.RTO.MaxRetries = v.MaxRetries
+	cfg.RTO.MaxBackoffShift = v.MaxBackoffShift
 	cfg.TLT = core.Config{Enabled: v.TLT, Clock: v.ClockMode}
 	return cfg
 }
@@ -155,6 +167,8 @@ func (v Variant) dcqcnConfig() dcqcn.Config {
 	if n == 0 {
 		n = 96
 	}
+	cfg.RTO.MaxRetries = v.MaxRetries
+	cfg.RTO.MaxBackoffShift = v.MaxBackoffShift
 	cfg.TLT = core.Config{Enabled: v.TLT, Clock: v.ClockMode, PeriodN: n}
 	return cfg
 }

@@ -10,6 +10,8 @@ const (
 	DropReasonBufferFull DropReason = iota // physical shared buffer exhausted
 	DropReasonDynamic                      // dynamic shared-buffer threshold
 	DropReasonColor                        // color-aware threshold (red only)
+	DropReasonWatchdog                     // PFC watchdog drop-and-unpause flush
+	DropReasonSwitchFail                   // MMU contents lost to a switch failure
 )
 
 // String returns a short reason name for dump output.
@@ -21,6 +23,10 @@ func (r DropReason) String() string {
 		return "dynamic-threshold"
 	case DropReasonColor:
 		return "color-threshold"
+	case DropReasonWatchdog:
+		return "pfc-watchdog"
+	case DropReasonSwitchFail:
+		return "switch-fail"
 	}
 	return "?"
 }
@@ -35,11 +41,21 @@ type AuditHook interface {
 	OnEnqueue(sw *Switch, egress, tc int, pkt *packet.Packet)
 	// OnDequeue fires after pkt left (egress, tc) for serialization.
 	OnDequeue(sw *Switch, egress, tc int, pkt *packet.Packet)
-	// OnDrop fires when admission rejected pkt. qBytes is the target
-	// queue depth and free the shared-buffer headroom (against the
-	// effective buffer limit) at decision time.
+	// OnDrop fires when admission rejected pkt, or — for the Watchdog
+	// and SwitchFail reasons — when a queued packet was flushed. qBytes
+	// is the target queue depth and free the shared-buffer headroom
+	// (against the effective buffer limit) at decision time.
 	OnDrop(sw *Switch, egress, tc int, pkt *packet.Packet, reason DropReason, qBytes, free int64)
 	// OnPFC fires when the switch emits a PAUSE (pause=true) or RESUME
 	// frame toward the upstream ingress port.
 	OnPFC(sw *Switch, port int, pause bool)
+	// OnPauseRx fires when received PFC changes an egress port's pause
+	// state: paused=true when a PAUSE frame stops the port, false when
+	// a RESUME — or the switch's own watchdog mitigation — releases it.
+	// Refresh PAUSE frames on an already-paused port do not fire.
+	OnPauseRx(sw *Switch, port int, paused bool)
+	// OnReset fires after a failed switch rebooted: its MMU, PFC and
+	// pause state restarted from zero and any shadow state the auditor
+	// keeps for it must be discarded.
+	OnReset(sw *Switch)
 }

@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"testing"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// TestPauseExpiryReleasesWedgedNIC: with a pause timeout armed, a NIC
+// paused by a peer that never sends RESUME (it died) transmits again
+// once the quanta age out, and the release is counted.
+func TestPauseExpiryReleasesWedgedNIC(t *testing.T) {
+	s, h, _, k := oneSwitch(t, SwitchConfig{BufferBytes: 1 << 20})
+	tx := h.NICTx()
+	tx.SetPauseTimeout(50 * sim.Microsecond)
+
+	tx.Pause() // the peer dies right after pausing us
+	h.Send(data(1, 1, 1000, packet.Unimportant))
+	s.Run(40 * sim.Microsecond)
+	if len(k.got) != 0 {
+		t.Fatal("paused NIC transmitted before the quanta expired")
+	}
+	s.Run(200 * sim.Microsecond)
+	if len(k.got) != 1 {
+		t.Fatalf("delivered %d packets after expiry, want 1", len(k.got))
+	}
+	if tx.PauseExpires != 1 {
+		t.Fatalf("PauseExpires = %d, want 1", tx.PauseExpires)
+	}
+	if tx.Paused() {
+		t.Fatal("NIC still paused after expiry")
+	}
+}
+
+// TestPauseRefreshExtendsExpiry: each PAUSE refreshes the quanta, so a
+// live storm holds the port down past the base timeout, and an explicit
+// RESUME releases it without charging PauseExpires.
+func TestPauseRefreshExtendsExpiry(t *testing.T) {
+	s, h, _, k := oneSwitch(t, SwitchConfig{BufferBytes: 1 << 20})
+	tx := h.NICTx()
+	tx.SetPauseTimeout(50 * sim.Microsecond)
+
+	tx.Pause()
+	h.Send(data(1, 1, 1000, packet.Unimportant))
+	// Refresh at 40us: expiry slides to 90us, past the base 50us.
+	s.At(40*sim.Microsecond, func() { tx.Pause() })
+	s.Run(70 * sim.Microsecond)
+	if len(k.got) != 0 {
+		t.Fatal("refreshed pause released at the un-refreshed deadline")
+	}
+	s.At(80*sim.Microsecond, tx.Resume)
+	s.RunAll()
+	if len(k.got) != 1 {
+		t.Fatalf("delivered %d packets after RESUME, want 1", len(k.got))
+	}
+	if tx.PauseExpires != 0 {
+		t.Fatalf("PauseExpires = %d after explicit RESUME, want 0", tx.PauseExpires)
+	}
+}

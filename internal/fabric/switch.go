@@ -53,6 +53,17 @@ type SwitchConfig struct {
 	XOff int64
 	XOn  int64
 
+	// PFCWatchdog enables the commodity-style pause watchdog (Broadcom
+	// and Mellanox chips ship one): when an egress port has been
+	// continuously paused by received PAUSE frames for
+	// WatchdogThreshold, the switch drops everything queued on that
+	// port, unpauses it, and ignores further PAUSE frames on it until
+	// WatchdogRestore has elapsed (drop-and-unpause mitigation). This
+	// is the data-plane defence against PFC storms and deadlocks.
+	PFCWatchdog       bool
+	WatchdogThreshold sim.Time
+	WatchdogRestore   sim.Time
+
 	// INT enables in-band network telemetry stamping (HPCC).
 	INT bool
 }
@@ -76,6 +87,10 @@ type Counters struct {
 	PauseFrames    int64
 	ResumeFrames   int64
 	INTOverflow    int64 // INT stamps that spilled past packet.MaxINTHops
+
+	WatchdogFires  int64 // PFC watchdog drop-and-unpause mitigations
+	WatchdogDrops  int64 // packets flushed by watchdog mitigation
+	DropSwitchFail int64 // packets black-holed or flushed by switch failure
 }
 
 // Add accumulates other into c.
@@ -90,6 +105,9 @@ func (c *Counters) Add(o *Counters) {
 	c.PauseFrames += o.PauseFrames
 	c.ResumeFrames += o.ResumeFrames
 	c.INTOverflow += o.INTOverflow
+	c.WatchdogFires += o.WatchdogFires
+	c.WatchdogDrops += o.WatchdogDrops
+	c.DropSwitchFail += o.DropSwitchFail
 }
 
 // TotalDrops returns all drops regardless of cause.
@@ -158,6 +176,9 @@ type swPort struct {
 
 	ingressBytes int64 // bytes buffered that arrived via this port (PFC)
 	sentXOff     bool
+
+	wdPending     bool     // a watchdog check event is outstanding
+	wdIgnoreUntil sim.Time // PAUSE frames ignored until then (mitigation)
 }
 
 func (p *swPort) totalBytes() int64 {
@@ -177,6 +198,11 @@ type Switch struct {
 	ports []*swPort
 
 	used int64 // shared buffer occupancy
+
+	// failed marks the switch dead (chaos SwitchFail): every arriving
+	// packet is black-holed and egress serialization is frozen until
+	// Reboot.
+	failed bool
 
 	// bufLimit is the effective shared-buffer capacity used for
 	// admission. It normally equals cfg.BufferBytes; chaos fault
@@ -347,13 +373,22 @@ func (sw *Switch) ecmpHash(flow packet.FlowID, n int) int {
 
 // Receive implements Device: route, admit, enqueue.
 func (sw *Switch) Receive(pkt *packet.Packet, inPort int) {
+	if sw.failed {
+		// Dead switch: everything that arrives is black-holed. PFC
+		// control frames just vanish; routed packets are counted.
+		if pkt.Type != packet.Pause && pkt.Type != packet.Resume {
+			sw.Ctr.DropSwitchFail++
+		}
+		sw.recycle(pkt)
+		return
+	}
 	switch pkt.Type {
 	case packet.Pause:
-		sw.ports[inPort].tx.Pause()
+		sw.pauseRx(inPort)
 		sw.recycle(pkt)
 		return
 	case packet.Resume:
-		sw.ports[inPort].tx.Resume()
+		sw.resumeRx(inPort)
 		sw.recycle(pkt)
 		return
 	}
@@ -501,19 +536,155 @@ func (sw *Switch) dequeue(port int) (*packet.Packet, int) {
 	}
 
 	if sw.cfg.PFC {
-		in := sw.ports[pkt.EnqIngress]
-		in.ingressBytes -= size
-		if in.sentXOff && in.ingressBytes <= sw.cfg.XOn {
-			in.sentXOff = false
-			sw.Ctr.ResumeFrames++
-			if sw.Audit != nil {
-				sw.Audit.OnPFC(sw, pkt.EnqIngress, false)
-			}
-			pf := sw.newControl()
-			pf.Type = packet.Resume
-			pf.Src = sw.id
-			in.tx.DeliverControl(pf)
-		}
+		sw.creditIngress(pkt.EnqIngress, size)
 	}
 	return pkt, int(size)
+}
+
+// creditIngress releases PFC ingress accounting for size bytes that had
+// arrived on inPort, emitting RESUME when the XON threshold is crossed.
+// Shared by the dequeue path and watchdog queue flushes.
+func (sw *Switch) creditIngress(inPort int, size int64) {
+	in := sw.ports[inPort]
+	in.ingressBytes -= size
+	if in.sentXOff && in.ingressBytes <= sw.cfg.XOn {
+		in.sentXOff = false
+		sw.Ctr.ResumeFrames++
+		if sw.Audit != nil {
+			sw.Audit.OnPFC(sw, inPort, false)
+		}
+		pf := sw.newControl()
+		pf.Type = packet.Resume
+		pf.Src = sw.id
+		in.tx.DeliverControl(pf)
+	}
+}
+
+// pauseRx handles a received PFC PAUSE frame for an egress port.
+func (sw *Switch) pauseRx(port int) {
+	p := sw.ports[port]
+	if sw.cfg.PFCWatchdog && sw.sim.Now() < p.wdIgnoreUntil {
+		// Mitigation window after a watchdog fire: the port stays up no
+		// matter how hard the peer storms.
+		return
+	}
+	wasPaused := p.tx.Paused()
+	p.tx.Pause()
+	if !wasPaused && sw.Audit != nil {
+		sw.Audit.OnPauseRx(sw, port, true)
+	}
+	if sw.cfg.PFCWatchdog && !p.wdPending {
+		p.wdPending = true
+		sw.sim.At(sw.sim.Now()+sw.cfg.WatchdogThreshold, func() { sw.watchdogCheck(port) })
+	}
+}
+
+// resumeRx handles a received PFC RESUME frame for an egress port.
+func (sw *Switch) resumeRx(port int) {
+	p := sw.ports[port]
+	if p.tx.Paused() && sw.Audit != nil {
+		sw.Audit.OnPauseRx(sw, port, false)
+	}
+	p.tx.Resume()
+}
+
+// watchdogCheck fires WatchdogThreshold after a port became paused: if
+// the port has now been continuously paused for at least the threshold,
+// the watchdog mitigates; if the pause stretch restarted meanwhile it
+// re-arms for the instant the current stretch would cross the threshold.
+func (sw *Switch) watchdogCheck(port int) {
+	p := sw.ports[port]
+	p.wdPending = false
+	if sw.failed || !p.tx.Paused() {
+		return
+	}
+	since := p.tx.PausedSince()
+	if sw.sim.Now()-since < sw.cfg.WatchdogThreshold {
+		p.wdPending = true
+		sw.sim.At(since+sw.cfg.WatchdogThreshold, func() { sw.watchdogCheck(port) })
+		return
+	}
+	// Drop-and-unpause: everything queued behind the stuck port is
+	// dropped (crediting PFC ingress accounting so upstream unpauses),
+	// the port resumes, and PAUSE frames are ignored for the restore
+	// window.
+	sw.Ctr.WatchdogFires++
+	sw.Ctr.WatchdogDrops += sw.flushPort(port, DropReasonWatchdog, true)
+	p.wdIgnoreUntil = sw.sim.Now() + sw.cfg.WatchdogRestore
+	if sw.Audit != nil {
+		sw.Audit.OnPauseRx(sw, port, false)
+	}
+	p.tx.Resume()
+}
+
+// flushPort drops every packet queued on an egress port, returning the
+// count. credit releases PFC ingress accounting per packet (watchdog
+// mitigation); a rebooting switch zeroes that state wholesale instead.
+func (sw *Switch) flushPort(port int, reason DropReason, credit bool) int64 {
+	p := sw.ports[port]
+	var n int64
+	for c := range p.qs {
+		q := &p.qs[c]
+		for {
+			pkt, size := q.popFront()
+			if pkt == nil {
+				break
+			}
+			sw.used -= size
+			n++
+			if pkt.Mark.Color() == packet.Green {
+				sw.Ctr.DropGreen++
+			}
+			if sw.Audit != nil {
+				sw.Audit.OnDrop(sw, port, c, pkt, reason, q.bytes, sw.bufLimit-sw.used)
+			}
+			if credit && sw.cfg.PFC {
+				sw.creditIngress(pkt.EnqIngress, size)
+			}
+			sw.recycle(pkt)
+		}
+	}
+	return n
+}
+
+// Fail kills the switch: every packet arriving while it is down is
+// black-holed, and egress serialization freezes after the frames already
+// on the wire (the cables are intact; the forwarding plane is gone).
+func (sw *Switch) Fail() {
+	if sw.failed {
+		return
+	}
+	sw.failed = true
+	for _, p := range sw.ports {
+		p.tx.Freeze()
+	}
+}
+
+// Failed reports whether the switch is currently dead.
+func (sw *Switch) Failed() bool { return sw.failed }
+
+// Reboot restores a failed switch with a factory-fresh MMU: buffered
+// packets are lost (counted as switch-fail drops), PFC ingress
+// accounting, pause state and watchdog state restart from zero. Peers
+// the dead switch had XOFF'd are NOT resumed — that state died with it;
+// their own pause timeout or watchdog must release them.
+func (sw *Switch) Reboot() {
+	if !sw.failed {
+		return
+	}
+	for i := range sw.ports {
+		sw.Ctr.DropSwitchFail += sw.flushPort(i, DropReasonSwitchFail, false)
+	}
+	sw.failed = false
+	for _, p := range sw.ports {
+		p.ingressBytes = 0
+		p.sentXOff = false
+		p.wdPending = false
+		p.wdIgnoreUntil = 0
+		p.tx.Resume() // received-pause state was lost with the reboot
+		p.tx.Unfreeze()
+	}
+	if sw.Audit != nil {
+		sw.Audit.OnReset(sw)
+	}
 }

@@ -150,6 +150,19 @@ type Tx struct {
 	// the PFC-paused state (for the paper's Fig. 7c).
 	PausedTotal sim.Time
 
+	// pauseTimeout, when non-zero, bounds how long a pause stays latched
+	// without being refreshed: PFC PAUSE frames carry finite quanta, so a
+	// transmitter paused by a peer that then dies must not stay wedged
+	// forever. Each Pause() refreshes the expiry. Zero keeps the seed
+	// model's latched semantics (pause until explicit RESUME).
+	pauseTimeout sim.Time
+	pauseExpiry  sim.Time
+	expiryArmed  bool
+	expireFn     func()
+	// PauseExpires counts pauses released by the timeout rather than an
+	// explicit RESUME.
+	PauseExpires int64
+
 	// TxBytes counts cumulative bytes serialized, exposed via INT.
 	TxBytes int64
 
@@ -205,8 +218,17 @@ func (tx *Tx) serDone() {
 }
 
 // Pause stops the transmitter after the in-flight packet, per PFC
-// semantics (the current frame completes).
+// semantics (the current frame completes). With a pause timeout set,
+// every Pause refreshes the quanta; a stream of PAUSE frames keeps the
+// port stopped, silence lets it expire.
 func (tx *Tx) Pause() {
+	if tx.pauseTimeout > 0 {
+		tx.pauseExpiry = tx.sim.Now() + tx.pauseTimeout
+		if !tx.expiryArmed {
+			tx.expiryArmed = true
+			tx.sim.At(tx.pauseExpiry, tx.expireFn)
+		}
+	}
 	if tx.paused {
 		return
 	}
@@ -228,6 +250,39 @@ func (tx *Tx) Resume() {
 
 // Paused reports the PFC state.
 func (tx *Tx) Paused() bool { return tx.paused }
+
+// PausedSince returns when the current pause stretch began (meaningful
+// only while Paused() is true). The PFC watchdog uses it to measure the
+// continuous pause duration of a port.
+func (tx *Tx) PausedSince() sim.Time { return tx.pausedSince }
+
+// SetPauseTimeout enables pause auto-expiry with the given quanta
+// duration (0 restores latched semantics). Intended for host NICs in
+// failure experiments: a NIC paused by a ToR that then dies would
+// otherwise never transmit again.
+func (tx *Tx) SetPauseTimeout(d sim.Time) {
+	tx.pauseTimeout = d
+	if d > 0 && tx.expireFn == nil {
+		tx.expireFn = tx.pauseExpiryCheck
+	}
+}
+
+// pauseExpiryCheck runs at the earliest possible expiry instant; if the
+// quanta were refreshed meanwhile it re-arms for the new expiry.
+func (tx *Tx) pauseExpiryCheck() {
+	tx.expiryArmed = false
+	if !tx.paused || tx.pauseTimeout == 0 {
+		return
+	}
+	now := tx.sim.Now()
+	if now < tx.pauseExpiry {
+		tx.expiryArmed = true
+		tx.sim.At(tx.pauseExpiry, tx.expireFn)
+		return
+	}
+	tx.PauseExpires++
+	tx.Resume()
+}
 
 // InjectLoss makes this direction of the link drop packets with the
 // given probability, modeling non-congestion losses (faulty optics,

@@ -18,6 +18,10 @@ type FlowRecord struct {
 	Flow *transport.Flow
 	End  sim.Time
 	Done bool
+	// Aborted marks a flow its sender gave up on (max retries exhausted
+	// against a black hole). End is stamped at the abort; Done stays
+	// false so aborted flows never contaminate FCT statistics.
+	Aborted bool
 
 	Timeouts    int // RTO expirations
 	RTOLowFires int // IRN RTO_low expirations (cheap designed recovery, not counted as timeouts)
@@ -86,6 +90,24 @@ func (rec *Recorder) NewFlowRecord(f *transport.Flow) *FlowRecord {
 func (rec *Recorder) FlowDone(fr *FlowRecord, at sim.Time) {
 	fr.End = at
 	fr.Done = true
+}
+
+// FlowAborted finalizes a record for a sender that gave up (terminal,
+// but never counted as completed).
+func (rec *Recorder) FlowAborted(fr *FlowRecord, at sim.Time) {
+	fr.End = at
+	fr.Aborted = true
+}
+
+// AbortedCount returns how many flows were aborted.
+func (rec *Recorder) AbortedCount() int {
+	n := 0
+	for _, fr := range rec.Flows {
+		if fr.Aborted {
+			n++
+		}
+	}
+	return n
 }
 
 // Select returns the completed-flow FCTs in seconds matching the filter.

@@ -26,6 +26,56 @@ type Network struct {
 	// between two hosts under different ToRs (zero queueing), useful
 	// for configuring transports.
 	BaseRTT sim.Time
+
+	// SwitchLinks lists the switch-to-switch adjacencies of the fabric
+	// (A's port APort faces B, and B's port BPort faces A), so failure
+	// tooling — the audit pause wait-for graph in particular — can map
+	// ports to peer devices without re-deriving the wiring.
+	SwitchLinks []SwitchLink
+
+	// failedSwitches is the control plane's view of dead switches
+	// (indexed like Switches), maintained by SetSwitchFailed. The data
+	// plane only changes when Reroute pushes the view into the routing
+	// tables — the gap between the two is the reconvergence black-hole
+	// window.
+	failedSwitches []bool
+	// reroute reinstalls routes honoring failedSwitches. Builders with
+	// path diversity install it; topologies without alternates leave it
+	// nil and keep black-holing.
+	reroute func(failed []bool)
+}
+
+// SwitchLink is one full-duplex switch-to-switch cable.
+type SwitchLink struct {
+	A     *fabric.Switch
+	APort int
+	B     *fabric.Switch
+	BPort int
+}
+
+// SetSwitchFailed marks switch index i as failed (or repaired) in the
+// control-plane view. The data plane is unaffected until Reroute runs,
+// modeling detection plus reconvergence delay.
+func (n *Network) SetSwitchFailed(i int, failed bool) {
+	if n.failedSwitches == nil {
+		n.failedSwitches = make([]bool, len(n.Switches))
+	}
+	if i >= 0 && i < len(n.failedSwitches) {
+		n.failedSwitches[i] = failed
+	}
+}
+
+// Reroute reinstalls static failure-aware routes for the current failed
+// set. Topologies without path diversity (star, dumbbell) have nothing
+// to reroute and no-op.
+func (n *Network) Reroute() {
+	if n.reroute == nil {
+		return
+	}
+	if n.failedSwitches == nil {
+		n.failedSwitches = make([]bool, len(n.Switches))
+	}
+	n.reroute(n.failedSwitches)
 }
 
 // Counters sums the switch counters across the fabric.
@@ -66,6 +116,12 @@ type LeafSpineConfig struct {
 	LinkDelay   sim.Time
 	Switch      fabric.SwitchConfig // Ports is set per switch by the builder
 	SeedSalt    int64               // RNG seed for probabilistic ECN
+
+	// HostPauseTimeout, when non-zero, makes host NIC pause state expire
+	// after that long without a refreshing PAUSE frame (finite PFC
+	// quanta), so a NIC paused by a switch that then dies recovers.
+	// Zero keeps pauses latched until RESUME (the seed model).
+	HostPauseTimeout sim.Time
 }
 
 // DefaultLeafSpine returns the paper's simulation fabric: 4 spines, 12
@@ -121,6 +177,7 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		t := h / cfg.HostsPerTor
 		p := h % cfg.HostsPerTor
 		a, b := fabric.Connect(s, n.Hosts[h], 0, tors[t], p, cfg.LinkRateBps, cfg.LinkDelay)
+		a.SetPauseTimeout(cfg.HostPauseTimeout)
 		n.Txs = append(n.Txs, a, b)
 	}
 	// ToR <-> spine links: ToR uplink port HostsPerTor+c to spine c port t.
@@ -128,6 +185,9 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		for c := range spines {
 			a, b := fabric.Connect(s, tors[t], cfg.HostsPerTor+c, spines[c], t, cfg.LinkRateBps, cfg.LinkDelay)
 			n.Txs = append(n.Txs, a, b)
+			n.SwitchLinks = append(n.SwitchLinks, SwitchLink{
+				A: tors[t], APort: cfg.HostsPerTor + c, B: spines[c], BPort: t,
+			})
 		}
 	}
 
@@ -151,6 +211,30 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		}
 	}
 
+	// Failure-aware static rerouting: ToR uplink ECMP groups shrink to
+	// the live spines. A dead ToR is terminal for its hosts (no
+	// alternate path exists), so only spine health changes routes.
+	// With every spine dead the static routes stay put and black-hole —
+	// there is nothing better to install.
+	n.reroute = func(failed []bool) {
+		live := make([]int, 0, cfg.Spines)
+		for c := 0; c < cfg.Spines; c++ {
+			if !failed[cfg.Tors+c] {
+				live = append(live, cfg.HostsPerTor+c)
+			}
+		}
+		if len(live) == 0 {
+			live = uplinks
+		}
+		for t, tor := range tors {
+			for h := 0; h < numHosts; h++ {
+				if h/cfg.HostsPerTor != t {
+					tor.SetRoute(packet.NodeID(h), live)
+				}
+			}
+		}
+	}
+
 	// Host→ToR→spine→ToR→host: 4 links each way.
 	n.BaseRTT = 2 * 4 * cfg.LinkDelay
 	return n
@@ -163,6 +247,9 @@ type StarConfig struct {
 	LinkDelay   sim.Time
 	Switch      fabric.SwitchConfig
 	SeedSalt    int64
+
+	// HostPauseTimeout: see LeafSpineConfig.
+	HostPauseTimeout sim.Time
 }
 
 // Star builds an N-host single switch network.
@@ -179,6 +266,7 @@ func Star(s *sim.Sim, cfg StarConfig) *Network {
 		host.SetPool(n.Pool)
 		n.Hosts = append(n.Hosts, host)
 		a, b := fabric.Connect(s, host, 0, sw, h, cfg.LinkRateBps, cfg.LinkDelay)
+		a.SetPauseTimeout(cfg.HostPauseTimeout)
 		n.Txs = append(n.Txs, a, b)
 		sw.SetRoute(packet.NodeID(h), []int{h})
 	}
@@ -195,6 +283,9 @@ type DumbbellConfig struct {
 	LinkDelay             sim.Time
 	Switch                fabric.SwitchConfig
 	SeedSalt              int64
+
+	// HostPauseTimeout: see LeafSpineConfig.
+	HostPauseTimeout sim.Time
 }
 
 // Dumbbell builds the two-switch topology. Hosts 0..LeftHosts-1 attach to
@@ -219,9 +310,11 @@ func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
 		n.Hosts = append(n.Hosts, host)
 		if h < cfg.LeftHosts {
 			a, b := fabric.Connect(s, host, 0, left, h, cfg.LinkRateBps, cfg.LinkDelay)
+			a.SetPauseTimeout(cfg.HostPauseTimeout)
 			n.Txs = append(n.Txs, a, b)
 		} else {
 			a, b := fabric.Connect(s, host, 0, right, h-cfg.LeftHosts, cfg.LinkRateBps, cfg.LinkDelay)
+			a.SetPauseTimeout(cfg.HostPauseTimeout)
 			n.Txs = append(n.Txs, a, b)
 		}
 	}
@@ -231,6 +324,9 @@ func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
 	}
 	a, b := fabric.Connect(s, left, cfg.LeftHosts, right, cfg.RightHosts, cross, cfg.LinkDelay)
 	n.Txs = append(n.Txs, a, b)
+	n.SwitchLinks = append(n.SwitchLinks, SwitchLink{
+		A: left, APort: cfg.LeftHosts, B: right, BPort: cfg.RightHosts,
+	})
 
 	for h := 0; h < total; h++ {
 		dst := packet.NodeID(h)

@@ -31,6 +31,15 @@ func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Conf
 			}
 		}
 	}
+	snd.OnAbort = func() {
+		if rec.Done || rec.Aborted {
+			return
+		}
+		recorder.FlowAborted(rec, s.Now())
+		if onDone != nil {
+			onDone(rec)
+		}
+	}
 	s.At(flow.Start, snd.Start)
 	return &Conn{Sender: snd, Receiver: rcv}
 }

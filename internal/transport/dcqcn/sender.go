@@ -43,13 +43,20 @@ type Sender struct {
 	rtoDeadline sim.Time // lazy RTO: 0 = disarmed
 	rtoPending  bool
 	rtoIsLow    bool // armed with IRN's RTO_low
+	backoff     uint // exponential backoff shift (only if RTO.MaxBackoffShift > 0)
+	retries     int  // consecutive full-RTO rounds without forward progress
 
 	// TLT marking: rate machine for GBN/SACK, window machine for IRN.
 	tltRate    *core.RateSender
 	tltWin     *core.WindowSender
 	roundStart bool // next retransmission starts a round
 
-	done bool
+	done    bool
+	aborted bool
+
+	// OnAbort fires once when the QP exhausts RTO.MaxRetries consecutive
+	// timeouts without progress (IB retry-count exceeded). May be nil.
+	OnAbort func()
 }
 
 // NewSender constructs a queue pair sender. The message is flow.Size
@@ -90,6 +97,8 @@ func (s *Sender) Start() {
 func (s *Sender) FlowStatus() transport.FlowStatus {
 	state := "open"
 	switch {
+	case s.aborted:
+		state = "aborted"
 	case s.done:
 		state = "done"
 	case s.board.HasLoss():
@@ -103,6 +112,7 @@ func (s *Sender) FlowStatus() transport.FlowStatus {
 		Transport:         "dcqcn",
 		State:             fmt.Sprintf("%s(rate=%.1fGbps)", state, s.rate/1e9),
 		Done:              s.done,
+		Aborted:           s.aborted,
 		AckedBytes:        min64(s.board.Una*mss, s.flow.Size),
 		TotalBytes:        s.flow.Size,
 		OutstandingBytes:  s.board.InFlight() * mss,
@@ -318,6 +328,8 @@ func (s *Sender) onAck(pkt *packet.Packet) {
 		return
 	}
 	if progressed {
+		s.backoff = 0
+		s.retries = 0 // Karn: forward progress resets the give-up counter
 		s.armRTO()
 	}
 	s.schedule()
@@ -358,7 +370,10 @@ func (s *Sender) importantClock() {
 func (s *Sender) onNack(pkt *packet.Packet) {
 	// Go-back-N: the receiver expects pkt.Ack; everything below it was
 	// delivered in order.
-	s.board.Ack(pkt.Ack)
+	if s.board.Ack(pkt.Ack) {
+		s.backoff = 0
+		s.retries = 0
+	}
 	if s.board.Complete() {
 		s.complete()
 		return
@@ -438,9 +453,10 @@ func (s *Sender) armRTO() {
 		s.rtoDeadline = 0
 		return
 	}
-	rto := s.cfg.RTO.Fixed
+	rto := s.cfg.RTO.Fixed << s.backoff
 	s.rtoIsLow = false
 	if s.cfg.Mode == IRN && s.cfg.RTOLow > 0 && s.board.InFlight() < s.cfg.NLow {
+		// RTO_low is a designed recovery path, never backed off.
 		rto = s.cfg.RTOLow
 		s.rtoIsLow = true
 	}
@@ -477,6 +493,16 @@ func (s *Sender) onRTO() {
 		s.rec.RTOLowFires++
 	} else {
 		s.rec.Timeouts++
+		s.retries++
+		if s.cfg.RTO.MaxRetries > 0 && s.retries >= s.cfg.RTO.MaxRetries {
+			s.abort()
+			return
+		}
+		// RoCE static timers do not back off by default (IB verbs);
+		// MaxBackoffShift opts a QP into exponential backoff.
+		if s.backoff < s.cfg.RTO.MaxBackoffShift {
+			s.backoff++
+		}
 	}
 	if s.cfg.Mode == GBN {
 		s.board.Rewind(s.board.Una)
@@ -505,3 +531,27 @@ func (s *Sender) complete() {
 		s.onDone()
 	}
 }
+
+// abort tears the QP down after RTO.MaxRetries consecutive timeouts with
+// no progress: IB retry-count exhaustion surfaces as a completion error
+// rather than retrying into a black hole forever.
+func (s *Sender) abort() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.aborted = true
+	s.rtoDeadline = 0
+	for _, t := range []sim.Timer{s.sendTimer, s.rpTimer, s.alphaTimer} {
+		t.Stop()
+	}
+	if s.tltWin != nil {
+		s.tltWin.Reset()
+	}
+	if s.OnAbort != nil {
+		s.OnAbort()
+	}
+}
+
+// Aborted reports whether the QP gave up (for tests).
+func (s *Sender) Aborted() bool { return s.aborted }

@@ -65,8 +65,15 @@ type Sender struct {
 
 	rtoDeadline sim.Time // lazy RTO: 0 = disarmed
 	rtoPending  bool
+	backoff     uint // exponential backoff shift (only if RTO.MaxBackoffShift > 0)
+	retries     int  // consecutive RTO rounds without forward progress
 	tlt         *core.WindowSender
 	done        bool
+	aborted     bool
+
+	// OnAbort fires once when the sender exhausts RTO.MaxRetries
+	// consecutive timeouts without progress. May be nil.
+	OnAbort func()
 }
 
 // NewSender constructs an HPCC sender for flow.
@@ -101,6 +108,8 @@ func (s *Sender) Done() bool { return s.done }
 func (s *Sender) FlowStatus() transport.FlowStatus {
 	state := "open"
 	switch {
+	case s.aborted:
+		state = "aborted"
 	case s.done:
 		state = "done"
 	case s.board.HasLoss():
@@ -116,6 +125,7 @@ func (s *Sender) FlowStatus() transport.FlowStatus {
 		Transport:         "hpcc",
 		State:             fmt.Sprintf("%s(w=%.0fB)", state, s.w),
 		Done:              s.done,
+		Aborted:           s.aborted,
 		AckedBytes:        acked,
 		TotalBytes:        s.flow.Size,
 		OutstandingBytes:  s.board.InFlight() * mss,
@@ -170,6 +180,8 @@ func (s *Sender) onAck(pkt *packet.Packet) {
 		return
 	}
 	if progressed {
+		s.backoff = 0
+		s.retries = 0 // Karn: forward progress resets the give-up counter
 		s.armRTO()
 	}
 	s.output()
@@ -338,7 +350,7 @@ func (s *Sender) armRTO() {
 		s.rtoDeadline = 0
 		return
 	}
-	s.rtoDeadline = s.s.Now() + s.cfg.RTO.Fixed
+	s.rtoDeadline = s.s.Now() + s.cfg.RTO.Fixed<<s.backoff
 	if !s.rtoPending {
 		s.rtoPending = true
 		s.s.At(s.rtoDeadline, s.rtoTick)
@@ -363,11 +375,39 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.rec.Timeouts++
+	s.retries++
+	if s.cfg.RTO.MaxRetries > 0 && s.retries >= s.cfg.RTO.MaxRetries {
+		s.abort()
+		return
+	}
+	// Static RoCE timers do not back off by default; MaxBackoffShift
+	// opts the flow into exponential backoff.
+	if s.backoff < s.cfg.RTO.MaxBackoffShift {
+		s.backoff++
+	}
 	s.board.MarkAllLost()
 	s.tlt.Reset()
 	s.output()
 	s.armRTO()
 }
+
+// abort terminates the flow after RTO.MaxRetries consecutive timeouts
+// without progress (retry exhaustion against a black-holed path).
+func (s *Sender) abort() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.aborted = true
+	s.rtoDeadline = 0
+	s.tlt.Reset()
+	if s.OnAbort != nil {
+		s.OnAbort()
+	}
+}
+
+// Aborted reports whether the sender gave up (for tests).
+func (s *Sender) Aborted() bool { return s.aborted }
 
 func (s *Sender) complete() {
 	if s.done {

@@ -16,6 +16,19 @@ type RTOConfig struct {
 	// Granularity models timer resolution added to the variance term
 	// (Linux uses 4*rttvar but at least one tick).
 	Granularity sim.Time
+
+	// MaxRetries caps consecutive timeout-driven retransmission rounds
+	// without forward progress; when reached the sender aborts the flow
+	// (IB QP retry-count semantics; TCP's net.ipv4.tcp_retries2). Zero
+	// means retry forever — the seed behavior.
+	MaxRetries int
+
+	// MaxBackoffShift caps the exponential RTO backoff applied under
+	// Karn's rule (effective timeout = RTO << min(consecutive-timeouts,
+	// shift)). Zero keeps each transport's default: TCP backs off with
+	// its traditional cap of 12, the static-timer RoCE transports
+	// (DCQCN, HPCC) do not back off at all, matching IB verbs.
+	MaxBackoffShift uint
 }
 
 // DefaultRTO returns the Linux-like defaults the paper's baseline uses.

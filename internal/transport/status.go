@@ -18,6 +18,7 @@ type FlowStatus struct {
 	State     string // transport-specific state summary
 
 	Done             bool
+	Aborted          bool // sender gave up: max retries exhausted
 	AckedBytes       int64
 	TotalBytes       int64
 	OutstandingBytes int64 // sent and unacknowledged
@@ -45,6 +46,9 @@ func (fs FlowStatus) String() string {
 	fmt.Fprintf(&b, "flow %d [%s] state=%s acked=%d/%d outstanding=%d lost=%d",
 		fs.Flow, fs.Transport, fs.State,
 		fs.AckedBytes, fs.TotalBytes, fs.OutstandingBytes, fs.LostBytes)
+	if fs.Aborted {
+		b.WriteString(" aborted")
+	}
 	if fs.ImportantInFlight {
 		b.WriteString(" important-in-flight")
 	}

@@ -40,6 +40,15 @@ func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Conf
 			}
 		}
 	}
+	c.Sender.OnAbort = func() {
+		if rec.Done || rec.Aborted {
+			return
+		}
+		recorder.FlowAborted(rec, s.Now())
+		if onDone != nil {
+			onDone(rec)
+		}
+	}
 	s.At(flow.Start, func() {
 		c.Sender.Write(flow.Size)
 		c.Sender.Close()

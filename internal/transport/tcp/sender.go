@@ -69,6 +69,7 @@ type Sender struct {
 	rtoDeadline sim.Time // 0 = disarmed
 	rtoPending  bool
 	backoff     uint
+	retries     int // consecutive RTO rounds without forward progress
 
 	tlpDeadline sim.Time
 	tlpPending  bool
@@ -76,7 +77,13 @@ type Sender struct {
 
 	tlt *core.WindowSender
 
-	done bool
+	done    bool
+	aborted bool
+
+	// OnAbort fires once when the sender gives up (RTO.MaxRetries
+	// consecutive timeouts without progress). Set by the connection
+	// wiring; may be nil.
+	OnAbort func()
 }
 
 // NewSender constructs a sender on host for flow. It does not register
@@ -141,6 +148,8 @@ func (s *Sender) TLTInFlightImportant() bool { return s.tlt.InFlight() }
 func (s *Sender) FlowStatus() transport.FlowStatus {
 	state := "open"
 	switch {
+	case s.aborted:
+		state = "aborted"
 	case s.done:
 		state = "done"
 	case s.inRecovery:
@@ -158,6 +167,7 @@ func (s *Sender) FlowStatus() transport.FlowStatus {
 		Transport:         "tcp",
 		State:             state,
 		Done:              s.done,
+		Aborted:           s.aborted,
 		AckedBytes:        s.sndUna,
 		TotalBytes:        s.appLimit,
 		OutstandingBytes:  s.sndNxt - s.sndUna,
@@ -440,6 +450,7 @@ func (s *Sender) onAck(pkt *packet.Packet) {
 	}
 	if newly > 0 {
 		s.backoff = 0
+		s.retries = 0 // Karn: forward progress resets the give-up counter
 		s.tlpFired = false
 	}
 
@@ -756,7 +767,16 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.rec.Timeouts++
-	if s.backoff < 12 {
+	s.retries++
+	if s.cfg.RTO.MaxRetries > 0 && s.retries >= s.cfg.RTO.MaxRetries {
+		s.abort()
+		return
+	}
+	maxShift := uint(12) // Linux-like default cap
+	if s.cfg.RTO.MaxBackoffShift > 0 {
+		maxShift = s.cfg.RTO.MaxBackoffShift
+	}
+	if s.backoff < maxShift {
 		s.backoff++
 	}
 	// Collapse to loss recovery: everything unsacked is lost; any
@@ -791,6 +811,27 @@ func (s *Sender) complete() {
 		s.onDone()
 	}
 }
+
+// abort terminates the flow after MaxRetries consecutive timeouts: the
+// path is treated as permanently black-holed (IB QP retry exhaustion /
+// tcp_retries2 giving up). The sender stops retransmitting and reports
+// terminal state through OnAbort and FlowStatus.
+func (s *Sender) abort() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.aborted = true
+	s.rtoDeadline = 0
+	s.tlpDeadline = 0
+	s.tlt.Reset()
+	if s.OnAbort != nil {
+		s.OnAbort()
+	}
+}
+
+// Aborted reports whether the sender gave up (for tests).
+func (s *Sender) Aborted() bool { return s.aborted }
 
 func max64(a, b int64) int64 {
 	if a > b {
