@@ -7,6 +7,7 @@
 //	tltsim -exp fig5 -bg 2000 -seeds 3
 //	tltsim -exp all -full            # paper scale (slow)
 //	tltsim -exp fig5 -procs 8        # cap simulation workers
+//	tltsim -exp fig5 -shards 4       # shard each simulation across 4 event loops
 //	tltsim -exp all -bench-out BENCH_local.json
 //	tltsim -exp fig5 -audit          # run with the invariant auditor on
 //	tltsim -exp fig9 -chaos 'flap:link=rand,at=200us,down=50us,every=2ms'
@@ -36,7 +37,9 @@ func main() {
 		points    = flag.Int("points", 0, "trim sweep axes to the first N points")
 		format    = flag.String("format", "table", "output format: table, csv, json")
 		procs     = flag.Int("procs", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		shards    = flag.Int("shards", 1, "event-loop shards per simulation (parallel DES; reports stay byte-identical across shard counts)")
 		benchOut  = flag.String("bench-out", "", "write per-experiment bench records (wall clock, events/sec, allocs) to this JSON file")
+		benchRep  = flag.Int("bench-repeat", 1, "run each bench entry this many times and record the median-events/s run")
 		chaosSpec = flag.String("chaos", "", "fault schedule, e.g. 'flap:link=rand,at=200us,down=50us,every=2ms;seed=7'")
 		auditFlag = flag.Bool("audit", false, "attach the runtime invariant auditor (panics on first violation)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -79,6 +82,7 @@ func main() {
 	}
 	experiments.SetHarness(plan, *auditFlag)
 	experiments.SetProcs(*procs)
+	experiments.SetShards(*shards)
 
 	if *list {
 		for _, e := range experiments.All {
@@ -114,7 +118,7 @@ func main() {
 		start := time.Now()
 		if *benchOut != "" {
 			var rec experiments.BenchRecord
-			rec, rep = experiments.MeasureEntry(e, scale)
+			rec, rep = experiments.MeasureEntryN(e, scale, *benchRep)
 			benchRecs = append(benchRecs, rec)
 		} else {
 			rep = experiments.RunEntry(e, scale)

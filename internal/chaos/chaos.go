@@ -143,6 +143,17 @@ type Engine struct {
 	net *topo.Network
 	rng *sim.RNG
 	ctr stats.FaultCounters
+
+	// Resolved-mode occurrence accounting (see resolved.go). Legacy
+	// Apply counts directly into ctr at fire time; the resolved path
+	// cannot, because occurrences fire on whichever shard owns the
+	// target. Instead every occurrence gets a slot, the firing event
+	// (exactly one writer, on one shard) marks it, and Counters folds
+	// the marked slots in after the run joins. The slices are fully
+	// built during ApplyResolved; the run only writes elements.
+	slotKind    []uint8
+	slotFired   []bool
+	stormFrames []int64
 }
 
 // NumLinks returns the number of full-duplex links in the network.
@@ -495,6 +506,28 @@ func (e *Engine) scheduleStorm(st PauseStorm) {
 // drop counts accumulated so far. Call after the run completes.
 func (e *Engine) Counters() stats.FaultCounters {
 	c := e.ctr
+	for i, fired := range e.slotFired {
+		if !fired {
+			continue
+		}
+		switch e.slotKind[i] {
+		case slotFlap:
+			c.LinkFlaps++
+		case slotShrink:
+			c.BufferShrinks++
+		case slotFreeze:
+			c.NICFreezes++
+		case slotSwFail:
+			c.SwitchFails++
+		case slotPortFail:
+			c.PortFails++
+		case slotStorm:
+			c.PauseStorms++
+		}
+	}
+	for _, n := range e.stormFrames {
+		c.StormFrames += n
+	}
 	for _, tx := range e.net.Txs {
 		c.DownDrops += tx.DownDrops()
 		c.BurstyDrops += tx.BurstyDrops()

@@ -1,0 +1,390 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/topo"
+)
+
+// ApplyResolved is Apply for sharded (grouped) networks. The legacy
+// engine makes decisions lazily — random targets are drawn and chains
+// extended inside event callbacks on the one simulator — which a
+// partitioned run cannot reproduce: a callback runs on whichever shard
+// owns its target, and an RNG shared across shards would make draw
+// order depend on the partition. The resolved engine instead commits
+// every decision at apply time, single-threaded:
+//
+//   - all RNG draws happen here, in directive order (Flaps, Bursty,
+//     Shrinks, Freezes, SwFails, PtFails, Storms), so picks are a pure
+//     function of (plan, runSeed) regardless of shard count;
+//   - repeat chains are expanded statically up to horizon (the run
+//     never executes past it, so truncation is invisible);
+//   - each effect is posted to the shard owning the mutated state: a
+//     link outage splits into a source half (stop transmitting) and an
+//     arrival half (black-hole the wire) on their respective shards;
+//   - the switch-failure "already failed" guard is replayed on a
+//     static control-plane timeline, and reroutes become per-switch
+//     route installs carrying an immutable failed-set snapshot.
+//
+// Occurrence counters use the engine's slot table: the firing event
+// marks its slot, and Counters sums marks after the run joins, so only
+// occurrences that actually executed before the run ended are counted —
+// matching the legacy at-fire-time increments.
+//
+// net must have been built with shard metadata (HostShard/SwitchShard
+// and per-Tx shards); horizon bounds chain expansion and must equal the
+// run's horizon.
+func (p *Plan) ApplyResolved(net *topo.Network, runSeed int64, horizon sim.Time) (*Engine, error) {
+	e := &Engine{
+		s: net.ShardSim(0), net: net,
+		rng: sim.NewRNG(p.Seed*0x9e3779b9 + runSeed + 0xc4a05),
+	}
+	if p.Empty() {
+		return e, nil
+	}
+	if err := p.Validate(net); err != nil {
+		return nil, err
+	}
+	for _, f := range p.Flaps {
+		e.resolveFlap(f, horizon)
+	}
+	for _, b := range p.Bursty {
+		e.resolveBursty(b)
+	}
+	for _, sh := range p.Shrinks {
+		e.resolveShrink(sh, horizon)
+	}
+	for _, fr := range p.Freezes {
+		e.resolveFreeze(fr, horizon)
+	}
+	e.resolveSwitchFails(p.SwFails, horizon)
+	for _, f := range p.PtFails {
+		e.resolvePortFail(f)
+	}
+	for _, st := range p.Storms {
+		e.resolveStorm(st)
+	}
+	return e, nil
+}
+
+// Occurrence slot kinds (Engine.slotKind values).
+const (
+	slotFlap uint8 = iota
+	slotShrink
+	slotFreeze
+	slotSwFail
+	slotPortFail
+	slotStorm
+)
+
+// newSlot allocates an occurrence slot and returns its index. Closures
+// capture the index, never a pointer: the slices may still grow while
+// later directives resolve.
+func (e *Engine) newSlot(kind uint8) int {
+	e.slotKind = append(e.slotKind, kind)
+	e.slotFired = append(e.slotFired, false)
+	return len(e.slotFired) - 1
+}
+
+// post schedules fn at time at on the simulator owning shard.
+func (e *Engine) post(shard int, at sim.Time, fn func()) {
+	e.net.ShardSim(shard).At(at, fn)
+}
+
+func (e *Engine) pickHost(idx int) int {
+	if idx == RandomTarget {
+		idx = e.rng.Intn(len(e.net.Hosts))
+	}
+	if idx < 0 || idx >= len(e.net.Hosts) {
+		panic(fmt.Sprintf("chaos: host %d out of range [0, %d)", idx, len(e.net.Hosts)))
+	}
+	return idx
+}
+
+func (e *Engine) pickSwitch(idx int) int {
+	if idx == RandomTarget {
+		idx = e.rng.Intn(len(e.net.Switches))
+	}
+	if idx < 0 || idx >= len(e.net.Switches) {
+		panic(fmt.Sprintf("chaos: switch %d out of range [0, %d)", idx, len(e.net.Switches)))
+	}
+	return idx
+}
+
+// linkOutage posts the four half-events taking both directions of link
+// down at t, plus the matching up halves at up (skipped when up <= t,
+// i.e. a permanent outage). The first down half also marks slot.
+func (e *Engine) linkOutage(link int, t, up sim.Time, slot int) {
+	a, b := e.net.Txs[2*link], e.net.Txs[2*link+1]
+	e.txOutage(a, t, up, slot)
+	e.txOutage(b, t, up, -1)
+}
+
+// txOutage downs one directional transmitter at t (split into source
+// and arrival halves on their owning shards) and restores it at up when
+// up > t. slot >= 0 marks that occurrence slot from the source half.
+func (e *Engine) txOutage(tx *fabric.Tx, t, up sim.Time, slot int) {
+	e.post(tx.Shard(), t, func() {
+		tx.SetSrcDown(true)
+		if slot >= 0 {
+			e.slotFired[slot] = true
+		}
+	})
+	e.post(tx.ArrivalShard(), t, func() { tx.SetArrivalDown(true) })
+	if up > t {
+		e.post(tx.Shard(), up, func() { tx.SetSrcDown(false) })
+		e.post(tx.ArrivalShard(), up, func() { tx.SetArrivalDown(false) })
+	}
+}
+
+// chainTimes expands a repeat chain (first occurrence at, period every,
+// count occurrences, bounded by until and horizon) into explicit start
+// times. The legacy engine checks Until at fire time with >=, so an
+// occurrence starting at or after until is dropped along with the rest
+// of its chain; occurrences past horizon can never execute and are
+// dropped to keep unbounded chains finite.
+func chainTimes(at, every sim.Time, count int, until, horizon sim.Time) []sim.Time {
+	var out []sim.Time
+	t := at
+	for occ := 0; ; occ++ {
+		if until > 0 && t >= until {
+			break
+		}
+		if t > horizon {
+			break
+		}
+		out = append(out, t)
+		if every > 0 && (count == 0 || occ+1 < count) {
+			t += every
+			continue
+		}
+		break
+	}
+	return out
+}
+
+func (e *Engine) resolveFlap(f LinkFlap, horizon sim.Time) {
+	for _, t := range chainTimes(f.At, f.Every, f.Count, f.Until, horizon) {
+		link := e.pickLink(f.Link)
+		if link < 0 {
+			return
+		}
+		e.linkOutage(link, t, t+f.Down, e.newSlot(slotFlap))
+	}
+}
+
+func (e *Engine) resolveBursty(b BurstyLoss) {
+	var links []int
+	if b.Link == AllTargets {
+		for i := 0; i < NumLinks(e.net); i++ {
+			links = append(links, i)
+		}
+	} else {
+		links = []int{e.pickLink(b.Link)}
+	}
+	for _, l := range links {
+		for dir := 0; dir < 2; dir++ {
+			tx := e.net.Txs[2*l+dir]
+			// Per-direction RNGs, drawn here in the legacy order
+			// (direction a then b per link).
+			rng := sim.NewRNG(e.rng.Int63())
+			e.post(tx.Shard(), b.Start, func() {
+				tx.InjectGilbertElliott(b.PGoodBad, b.PBadGood, b.LossGood, b.LossBad, rng)
+			})
+			if b.Stop > b.Start {
+				e.post(tx.Shard(), b.Stop, func() {
+					tx.InjectGilbertElliott(0, 0, 0, 0, nil)
+				})
+			}
+		}
+	}
+}
+
+func (e *Engine) resolveShrink(sh BufferShrink, horizon sim.Time) {
+	var sws []int
+	if sh.Switch == AllTargets {
+		for i := range e.net.Switches {
+			sws = append(sws, i)
+		}
+	} else {
+		sws = []int{sh.Switch}
+	}
+	for _, t := range chainTimes(sh.At, sh.Every, sh.Count, 0, horizon) {
+		slot := e.newSlot(slotShrink)
+		for k, i := range sws {
+			sw := e.net.Switches[i]
+			shard := e.net.SwitchShard[i]
+			limit := int64(sh.Frac * float64(sw.Config().BufferBytes))
+			mark := k == 0
+			e.post(shard, t, func() {
+				sw.SetBufferLimit(limit)
+				if mark {
+					e.slotFired[slot] = true
+				}
+			})
+			e.post(shard, t+sh.Duration, func() { sw.SetBufferLimit(0) })
+		}
+	}
+}
+
+func (e *Engine) resolveFreeze(fr NICFreeze, horizon sim.Time) {
+	for _, t := range chainTimes(fr.At, fr.Every, fr.Count, 0, horizon) {
+		idx := e.pickHost(fr.Host)
+		shard := e.net.HostShard[idx]
+		tx := e.net.Hosts[idx].NICTx()
+		slot := e.newSlot(slotFreeze)
+		e.post(shard, t, func() {
+			tx.Freeze()
+			e.slotFired[slot] = true
+		})
+		e.post(shard, t+fr.Duration, tx.Unfreeze)
+	}
+}
+
+// cpEvent is one control-plane transition: at time t the controller
+// learns switch sw failed (or recovered) and reinstalls routes.
+type cpEvent struct {
+	t      sim.Time
+	sw     int
+	failed bool
+}
+
+// resolveSwitchFails handles every SwitchFail directive together,
+// because the legacy "if !sw.Failed()" guard couples them: an
+// occurrence is a no-op while its target is already down. Random picks
+// are drawn per directive in order (so the stream matches the overall
+// directive-order convention); then occurrences are replayed in global
+// (time, directive, occurrence) order against a static down/up timeline
+// to decide which ones take effect.
+func (e *Engine) resolveSwitchFails(fails []SwitchFail, horizon sim.Time) {
+	type occ struct {
+		t        sim.Time
+		dir, seq int
+		sw       int
+		f        SwitchFail
+	}
+	var occs []occ
+	for di, f := range fails {
+		for si, t := range chainTimes(f.At, f.Every, f.Count, 0, horizon) {
+			occs = append(occs, occ{t: t, dir: di, seq: si, sw: e.pickSwitch(f.Switch), f: f})
+		}
+	}
+	sort.SliceStable(occs, func(i, j int) bool {
+		if occs[i].t != occs[j].t {
+			return occs[i].t < occs[j].t
+		}
+		if occs[i].dir != occs[j].dir {
+			return occs[i].dir < occs[j].dir
+		}
+		return occs[i].seq < occs[j].seq
+	})
+
+	// Replay the guard: a switch is down during [t, t+Duration), or
+	// forever when Duration == 0. An occurrence landing exactly at the
+	// reboot instant takes effect (the legacy reboot event carries the
+	// older sequence number, so it runs first).
+	downUntil := make([]sim.Time, len(e.net.Switches))
+	perm := make([]bool, len(e.net.Switches))
+	var cps []cpEvent
+	for _, o := range occs {
+		if perm[o.sw] || o.t < downUntil[o.sw] {
+			continue // guard: already failed, occurrence is a no-op
+		}
+		if o.f.Duration > 0 {
+			downUntil[o.sw] = o.t + o.f.Duration
+		} else {
+			perm[o.sw] = true
+		}
+		sw := e.net.Switches[o.sw]
+		shard := e.net.SwitchShard[o.sw]
+		slot := e.newSlot(slotSwFail)
+		e.post(shard, o.t, func() {
+			sw.Fail()
+			e.slotFired[slot] = true
+		})
+		if o.f.Reroute > 0 {
+			cps = append(cps, cpEvent{t: o.t + o.f.Reroute, sw: o.sw, failed: true})
+		}
+		if o.f.Duration > 0 {
+			e.post(shard, o.t+o.f.Duration, sw.Reboot)
+			if o.f.Reroute > 0 {
+				cps = append(cps, cpEvent{t: o.t + o.f.Duration + o.f.Reroute, sw: o.sw, failed: false})
+			}
+		}
+	}
+
+	// Control plane: fold transitions in (time, generation) order into
+	// failed-set snapshots, one reroute wave per distinct instant. Each
+	// switch gets its route install on its own shard, reading only the
+	// immutable snapshot.
+	sort.SliceStable(cps, func(i, j int) bool { return cps[i].t < cps[j].t })
+	failed := make([]bool, len(e.net.Switches))
+	for i := 0; i < len(cps); {
+		t := cps[i].t
+		for ; i < len(cps) && cps[i].t == t; i++ {
+			failed[cps[i].sw] = cps[i].failed
+		}
+		snapshot := append([]bool(nil), failed...)
+		for j := range e.net.Switches {
+			sw := j
+			e.post(e.net.SwitchShard[sw], t, func() {
+				e.net.RerouteSwitch(sw, snapshot)
+			})
+		}
+	}
+}
+
+func (e *Engine) resolvePortFail(f PortFail) {
+	link := e.pickLink(f.Link)
+	if link < 0 {
+		return
+	}
+	tx := e.net.Txs[2*link+f.Dir]
+	up := f.At
+	if f.Duration > 0 {
+		up = f.At + f.Duration
+	}
+	e.txOutage(tx, f.At, up, e.newSlot(slotPortFail))
+}
+
+func (e *Engine) resolveStorm(st PauseStorm) {
+	refresh := st.Refresh
+	if refresh <= 0 {
+		refresh = 2 * sim.Microsecond
+	}
+	idx := e.pickHost(st.Host)
+	h := e.net.Hosts[idx]
+	hsim := e.net.ShardSim(e.net.HostShard[idx])
+	slot := e.newSlot(slotStorm)
+	frames := len(e.stormFrames)
+	e.stormFrames = append(e.stormFrames, 0)
+	// The whole storm — activation, emit chain, final resume — runs on
+	// the host's shard, so the legacy lazy chain works unchanged.
+	hsim.At(st.At, func() {
+		end := hsim.Now() + st.Duration
+		e.slotFired[slot] = true
+		var emit func()
+		emit = func() {
+			pf := h.NewPacket()
+			pf.Type = packet.Pause
+			pf.Src = h.ID()
+			h.NICTx().DeliverControl(pf)
+			e.stormFrames[frames]++
+			if hsim.Now()+refresh < end {
+				hsim.After(refresh, emit)
+				return
+			}
+			hsim.After(refresh, func() {
+				rf := h.NewPacket()
+				rf.Type = packet.Resume
+				rf.Src = h.ID()
+				h.NICTx().DeliverControl(rf)
+			})
+		}
+		emit()
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 )
 
@@ -20,6 +21,15 @@ type BenchRecord struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerCell  float64 `json:"allocs_per_cell"`
 	AllocMBPerCell float64 `json:"alloc_mb_per_cell"`
+
+	// Shards is the per-run shard count the entry executed with, and
+	// ShardEvents the per-shard event totals over the grid — a direct
+	// read on partition balance. Repeats is how many times the entry
+	// ran; the record keeps the run with the median events/s. Absent
+	// (zero/omitted) in records from before the sharded runner.
+	Shards      int      `json:"shards,omitempty"`
+	Repeats     int      `json:"repeats,omitempty"`
+	ShardEvents []uint64 `json:"shard_events,omitempty"`
 
 	// Scheduler-internal counters aggregated over the grid. DeadPops is
 	// the key health metric: cancelled timers that still paid a heap pop
@@ -49,6 +59,39 @@ type BenchFile struct {
 // the grid cell count — approximate, so measure entries one at a time
 // (cmd/tltsim runs entries sequentially whenever -bench-out is set).
 func MeasureEntry(e Entry, scale Scale) (BenchRecord, *Report) {
+	return MeasureEntryN(e, scale, 1)
+}
+
+// MeasureEntryN is MeasureEntry repeated: the entry runs repeats times
+// and the record kept is the run with the median events/s, so one
+// descheduled run doesn't skew a regression gate. The record's Repeats
+// field says how many runs backed it.
+func MeasureEntryN(e Entry, scale Scale, repeats int) (BenchRecord, *Report) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	recs := make([]BenchRecord, 0, repeats)
+	reps := make([]*Report, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		rec, rep := measureOnce(e, scale)
+		recs = append(recs, rec)
+		reps = append(reps, rep)
+	}
+	// Median by events/s: order run indices, take the middle one.
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return recs[order[a]].EventsPerSec < recs[order[b]].EventsPerSec
+	})
+	mid := order[len(order)/2]
+	rec := recs[mid]
+	rec.Repeats = repeats
+	return rec, reps[mid]
+}
+
+func measureOnce(e Entry, scale Scale) (BenchRecord, *Report) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -61,6 +104,8 @@ func MeasureEntry(e Entry, scale Scale) (BenchRecord, *Report) {
 	rec := BenchRecord{
 		Experiment:    e.ID,
 		Procs:         Procs(),
+		Shards:        Shards(),
+		ShardEvents:   rep.ShardEvents(),
 		Cells:         cells,
 		Rows:          len(rep.Rows),
 		WallSeconds:   wall,

@@ -44,6 +44,29 @@ func Procs() int {
 	return cap(sharedSem())
 }
 
+// sessionShards is the default per-run shard count grids apply to cells
+// that don't pin their own (the -shards flag). Guarded by procsMu with
+// the semaphore since both are set at session start.
+var sessionShards = 1
+
+// SetShards sets the session default shard count for subsequent grids
+// (n < 1 is clamped to 1). Like SetProcs, call before runs start.
+func SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	procsMu.Lock()
+	sessionShards = n
+	procsMu.Unlock()
+}
+
+// Shards returns the session default shard count.
+func Shards() int {
+	procsMu.Lock()
+	defer procsMu.Unlock()
+	return sessionShards
+}
+
 func sharedSem() chan struct{} {
 	procsMu.Lock()
 	defer procsMu.Unlock()
@@ -84,12 +107,33 @@ func RunGrid(cells []RunConfig, opts GridOpts) []*Result {
 		if ha {
 			rc.Audit = true
 		}
+		if rc.Shards == 0 {
+			rc.Shards = Shards()
+		}
 		wg.Add(1)
 		go func(i int, rc RunConfig) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Cells and shards share the one worker budget: a sharded
+			// cell borrows extra slots if any are free right now (never
+			// blocking — that could deadlock the grid) and runs its
+			// shard group on 1 + borrowed workers.
+			extra := 0
+		borrow:
+			for extra < rc.Shards-1 {
+				select {
+				case sem <- struct{}{}:
+					extra++
+				default:
+					break borrow // no free slot; run narrower
+				}
+			}
+			rc.Workers = 1 + extra
 			results[i] = runCell(rc)
+			for ; extra > 0; extra-- {
+				<-sem
+			}
 		}(i, rc)
 	}
 	wg.Wait()
@@ -195,6 +239,13 @@ func (sw *sweep) exec() {
 		sw.rep.Notes = append(sw.rep.Notes, r.Notes...)
 		sw.rep.events += r.EventsRun
 		sw.rep.sched.Add(&r.Sched)
+		for i, ev := range r.ShardEvents {
+			if i < len(sw.rep.shardEvents) {
+				sw.rep.shardEvents[i] += ev
+			} else {
+				sw.rep.shardEvents = append(sw.rep.shardEvents, ev)
+			}
+		}
 	}
 }
 

@@ -24,6 +24,10 @@ type Report struct {
 	cells  int
 	events uint64
 	sched  sim.SchedStats
+	// shardEvents sums each cell's per-shard event counts elementwise,
+	// so a bench record can show how evenly the partitioner spread the
+	// load (length = the grid's largest shard count).
+	shardEvents []uint64
 }
 
 // GridStats returns how many grid cells produced this report and the
@@ -36,6 +40,10 @@ func (r *Report) GridStats() (cells int, events uint64) {
 // grid cell behind this report (dead-timer pops/reclamations, cascades,
 // overflow-heap pressure).
 func (r *Report) SchedStats() sim.SchedStats { return r.sched }
+
+// ShardEvents returns the per-shard event totals across the grid's cells
+// (length = the largest shard count any cell ran with).
+func (r *Report) ShardEvents() []uint64 { return r.shardEvents }
 
 // AddRow appends a formatted row.
 func (r *Report) AddRow(cells ...string) {

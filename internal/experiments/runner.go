@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"tlt/internal/audit"
 	"tlt/internal/chaos"
@@ -25,6 +26,18 @@ type RunConfig struct {
 	Traffic workload.TrafficConfig
 	Seed    int64
 	Horizon sim.Time // 0 → last arrival + 3 s
+
+	// Shards partitions the fabric across that many event loops
+	// (conservative parallel DES with link-latency lookahead); 0 and 1
+	// both mean a single shard. Reports are byte-identical across shard
+	// counts. Runs that attach cross-shard observers (Audit,
+	// CollectDelivery, CollectRTT) are clamped to one shard; the clamp
+	// is silent because a harness note naming the shard count would
+	// itself break cross-shard-count byte-identity.
+	Shards int
+	// Workers caps the goroutines driving the shard group (0 → one per
+	// shard). The grid sets this from its run-slot budget.
+	Workers int
 
 	// AlphaOverride replaces the dynamic-threshold parameter (ablation).
 	AlphaOverride float64
@@ -86,6 +99,9 @@ type Result struct {
 	MaxRedQ    int64     // max red (unimportant) occupancy
 	QSamples   []float64 // sampled max-queue time series (bytes)
 	EventsRun  uint64
+	// ShardEvents breaks EventsRun down by shard (length = shard count),
+	// so bench records can show partition balance.
+	ShardEvents []uint64
 	// Sched carries the run's scheduler-internal counters (dead-timer
 	// pops and reclamations, cascades, overflow-heap pressure).
 	Sched       sim.SchedStats
@@ -179,10 +195,23 @@ func (r *Result) ImpLossRate() float64 {
 
 // Run executes one leaf-spine simulation.
 func Run(rc RunConfig) *Result {
-	s := sim.New()
 	v := rc.Variant
 
+	shards := rc.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if rc.Audit || rc.CollectDelivery || rc.CollectRTT {
+		// These observers read state across the whole fabric from event
+		// callbacks; keep them on one shard. Silent by design (see the
+		// Shards field comment).
+		shards = 1
+	}
+	g := sim.NewGroup(shards, v.linkDelay())
+	s := g.Shard(0)
+
 	lsCfg := topo.DefaultLeafSpine(v.linkDelay())
+	lsCfg.Group = g
 	lsCfg.Switch = v.switchConfig()
 	if rc.AlphaOverride > 0 {
 		lsCfg.Switch.Alpha = rc.AlphaOverride
@@ -228,19 +257,45 @@ func Run(rc RunConfig) *Result {
 		coreAudit = aud
 	}
 
-	remaining := len(flows)
-	onDone := func(*stats.FlowRecord) {
-		remaining--
-		if remaining == 0 {
-			s.Stop()
+	// A flow can finalize from both sides in a sharded run (sender abort
+	// racing a completion in flight), and the two closures run on
+	// different shards, so completion accounting is a per-flow CAS plus
+	// an atomic remaining count. rec.Flows is index-aligned with flows
+	// (startFlows registers records in flow order) and the map is fully
+	// built before the run starts, so the concurrent reads are safe.
+	var remaining atomic.Int64
+	remaining.Store(int64(len(flows)))
+	doneSlots := make([]atomic.Bool, len(flows))
+	flowIdx := make(map[*stats.FlowRecord]int, len(flows))
+	onDone := func(fr *stats.FlowRecord) {
+		i, ok := flowIdx[fr]
+		if !ok || !doneSlots[i].CompareAndSwap(false, true) {
+			return
+		}
+		if remaining.Add(-1) == 0 {
+			g.RequestStop()
 		}
 	}
 	reporters := startFlows(s, net, flows, v, rec, onDone, coreAudit)
+	for i, fr := range rec.Flows {
+		flowIdx[fr] = i
+	}
+
+	// The horizon is fixed before fault application: the resolved chaos
+	// engine expands repeat chains statically up to it.
+	last := sim.Time(0)
+	if len(flows) > 0 {
+		last = flows[len(flows)-1].Start
+	}
+	horizon := rc.Horizon
+	if horizon == 0 {
+		horizon = last + 3*sim.Second
+	}
 
 	var eng *chaos.Engine
 	if !rc.Faults.Empty() {
 		var err error
-		eng, err = rc.Faults.Apply(s, net, rc.Seed)
+		eng, err = rc.Faults.ApplyResolved(net, rc.Seed, horizon)
 		if err != nil {
 			res := &Result{Rec: rec, FlowCount: len(flows), Panicked: true}
 			res.Notef("%s seed %d: bad fault plan: %v", rc.label(), rc.Seed, err)
@@ -251,36 +306,61 @@ func Run(rc RunConfig) *Result {
 		rc.Prepare(s, net)
 	}
 
-	var qSamples []float64
+	// Queue sampling runs one sampler per shard, each reading only its
+	// own switches; the per-shard series merge elementwise-max after the
+	// join. Samplers stop at the group's stop latch, which flips at a
+	// window barrier and is therefore shard-count invariant.
+	var shardSamples [][]float64
 	if rc.SampleQueues {
-		var sample func()
-		sample = func() {
-			maxQ := int64(0)
-			for _, sw := range net.Switches {
-				for p := 0; p < sw.NumPorts(); p++ {
-					if q := sw.QueueBytes(p); q > maxQ {
-						maxQ = q
-					}
+		shardSamples = make([][]float64, shards)
+		for sh := 0; sh < shards; sh++ {
+			sh := sh
+			ssim := g.Shard(sh)
+			var mine []*fabric.Switch
+			for i, sw := range net.Switches {
+				if net.SwitchShard[i] == sh {
+					mine = append(mine, sw)
 				}
 			}
-			qSamples = append(qSamples, float64(maxQ))
-			if remaining > 0 {
-				s.After(20*sim.Microsecond, sample)
+			var sample func()
+			sample = func() {
+				maxQ := int64(0)
+				for _, sw := range mine {
+					for p := 0; p < sw.NumPorts(); p++ {
+						if q := sw.QueueBytes(p); q > maxQ {
+							maxQ = q
+						}
+					}
+				}
+				shardSamples[sh] = append(shardSamples[sh], float64(maxQ))
+				if !g.Stopping() {
+					ssim.After(20*sim.Microsecond, sample)
+				}
 			}
+			ssim.After(0, sample)
 		}
-		s.After(0, sample)
 	}
 
-	last := sim.Time(0)
-	if len(flows) > 0 {
-		last = flows[len(flows)-1].Start
+	workers := rc.Workers
+	if workers < 1 {
+		workers = shards
 	}
-	horizon := rc.Horizon
-	if horizon == 0 {
-		horizon = last + 3*sim.Second
-	}
-	end := s.Run(horizon)
+	g.SetWorkers(workers)
+	end := g.Run(horizon)
 	net.FinishPausedClocks()
+
+	var qSamples []float64
+	for _, ss := range shardSamples {
+		for i, v := range ss {
+			if i < len(qSamples) {
+				if v > qSamples[i] {
+					qSamples[i] = v
+				}
+			} else {
+				qSamples = append(qSamples, v)
+			}
+		}
+	}
 
 	res := &Result{
 		Rec:         rec,
@@ -288,11 +368,16 @@ func Run(rc RunConfig) *Result {
 		PausedFrac:  net.PausedFraction(end),
 		Elapsed:     end,
 		FlowCount:   len(flows),
-		Incomplete:  remaining,
+		Incomplete:  int(remaining.Load()),
 		QSamples:    qSamples,
-		EventsRun:   s.Processed,
-		Sched:       s.Sched,
 		TrafficLast: last,
+	}
+	res.ShardEvents = make([]uint64, shards)
+	for i := 0; i < shards; i++ {
+		ss := g.Shard(i)
+		res.ShardEvents[i] = ss.Processed
+		res.EventsRun += ss.Processed
+		res.Sched.Add(&ss.Sched)
 	}
 	for _, sw := range net.Switches {
 		for p := 0; p < sw.NumPorts(); p++ {
@@ -315,10 +400,10 @@ func Run(rc RunConfig) *Result {
 		res.Faults.PFCStormSuspects = aud.StormSuspects
 		res.AuditEvents = aud.Events
 	}
-	if remaining > 0 {
+	if res.Incomplete > 0 {
 		res.Stalls = stallReport(reporters)
 		res.Notef("%s seed %d: incomplete=%d of %d flows at horizon %v",
-			v.Name(), rc.Seed, remaining, len(flows), end)
+			v.Name(), rc.Seed, res.Incomplete, len(flows), end)
 		for i, fs := range res.Stalls {
 			if i == 4 {
 				res.Notef("stall: … %d more stalled flows", len(res.Stalls)-i)

@@ -59,6 +59,11 @@ func NewHost(s *sim.Sim, id packet.NodeID) *Host {
 // ID returns the host's node ID.
 func (h *Host) ID() packet.NodeID { return h.id }
 
+// Sim returns the scheduler this host's events run on — in a sharded
+// network, its shard's. Transports derive every timer from it so flow
+// state machines land on the shard owning their endpoint.
+func (h *Host) Sim() *sim.Sim { return h.sim }
+
 // NICTx returns the host's transmitter (for pause accounting in tests).
 func (h *Host) NICTx() *Tx { return h.tx }
 

@@ -73,10 +73,28 @@ type Wire struct {
 
 	deliverFn func(any) // stored once to avoid per-packet closures
 
-	// down marks the physical link as dead: everything handed to the
-	// wire — and everything still propagating when the link went down,
-	// checked at its arrival instant — is lost.
+	// group, when set, routes arrivals through the shard group's
+	// mailboxes instead of posting directly: the destination device
+	// lives on shard dstShard, and the (id, seq) pair gives every
+	// hand-off a unique key so barrier injection order — and therefore
+	// the destination's event sequence — is independent of how the
+	// topology was partitioned. Topology builders mailbox ALL
+	// inter-switch wires at every shard count (including one) so the
+	// canonical order is the only order that ever exists.
+	group    *sim.Group
+	srcShard int
+	dstShard int
+	id       uint32
+	seq      uint32
+
+	// down marks the source half of a dead link: everything handed to
+	// the wire is lost. It is owned by the source shard.
 	down bool
+	// arrDown marks the arrival half: packets still propagating when
+	// the link went down are lost at their arrival instant. It is owned
+	// by the destination shard, so a cross-shard link can be killed at
+	// the same simulated instant on both sides without a data race.
+	arrDown bool
 
 	// Random non-congestion loss injection (cabling faults, silent
 	// corruption): every packet is dropped with probability lossRate.
@@ -89,8 +107,12 @@ type Wire struct {
 	dropFilter func(*packet.Packet) bool
 	// Dropped counts injected losses (uniform + filter).
 	Dropped int64
-	// DownDropped counts packets lost to a dead link.
+	// DownDropped counts packets lost to a dead link at hand-off
+	// (source side).
 	DownDropped int64
+	// arrDownDropped counts packets lost in flight at their arrival
+	// instant (destination side).
+	arrDownDropped int64
 	// GEDropped counts Gilbert–Elliott losses.
 	GEDropped int64
 }
@@ -98,9 +120,9 @@ type Wire struct {
 func newWire(s *sim.Sim, delay sim.Time, to Device, toPort int) *Wire {
 	w := &Wire{sim: s, delay: delay, to: to, toPort: toPort}
 	w.deliverFn = func(a any) {
-		if w.down {
+		if w.arrDown {
 			// The link died while this packet was in flight.
-			w.DownDropped++
+			w.arrDownDropped++
 			return
 		}
 		w.to.Receive(a.(*packet.Packet), w.toPort)
@@ -130,6 +152,12 @@ func (w *Wire) Deliver(pkt *packet.Packet) {
 		w.Dropped++
 		return
 	}
+	if w.group != nil {
+		w.seq++
+		key := uint64(w.id)<<32 | uint64(w.seq)
+		w.group.Send(w.srcShard, w.dstShard, w.sim.Now()+w.delay, key, w.deliverFn, pkt)
+		return
+	}
 	w.sim.PostArg(w.sim.Now()+w.delay, w.deliverFn, pkt)
 }
 
@@ -139,6 +167,7 @@ type Tx struct {
 	sim     *sim.Sim
 	RateBps int64
 	wire    *Wire
+	shard   int // shard owning this transmitter (0 outside groups)
 
 	busy   bool
 	paused bool
@@ -319,14 +348,34 @@ func (tx *Tx) InjectGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64
 
 // SetLinkDown kills this direction of the link: serialization stops
 // after the current frame and every packet in flight on the wire is lost
-// at its would-be arrival instant.
+// at its would-be arrival instant. Both halves of the link state flip
+// here, so it is only safe when source and destination share a shard
+// (always true outside groups); cross-shard fault injection uses the
+// SetSrcDown / SetArrivalDown halves on their owning shards.
 func (tx *Tx) SetLinkDown() {
-	tx.down = true
-	tx.wire.down = true
+	tx.SetSrcDown(true)
+	tx.SetArrivalDown(true)
 }
 
 // SetLinkUp revives a downed link and restarts transmission.
 func (tx *Tx) SetLinkUp() {
+	if !tx.down {
+		return
+	}
+	tx.SetArrivalDown(false)
+	tx.SetSrcDown(false)
+}
+
+// SetSrcDown flips the source half of the link state: the transmitter
+// and the wire's hand-off check. It is owned by — and must only run on
+// — the shard of the transmitting device. Raising the link restarts
+// transmission.
+func (tx *Tx) SetSrcDown(down bool) {
+	if down {
+		tx.down = true
+		tx.wire.down = true
+		return
+	}
 	if !tx.down {
 		return
 	}
@@ -336,6 +385,28 @@ func (tx *Tx) SetLinkUp() {
 		tx.startNext()
 	}
 }
+
+// SetArrivalDown flips the arrival half of the link state: whether
+// packets still in flight are lost at their arrival instant. It is
+// owned by — and must only run on — the shard of the receiving device.
+func (tx *Tx) SetArrivalDown(down bool) {
+	tx.wire.arrDown = down
+}
+
+// SetShards records the shard owning this transmitter and the shard its
+// wire delivers to. Topology builders call it for every link of a
+// sharded network (equal shards for intra-shard links).
+func (tx *Tx) SetShards(src, dst int) {
+	tx.shard = src
+	tx.wire.srcShard = src
+	tx.wire.dstShard = dst
+}
+
+// Shard returns the shard owning this transmitter.
+func (tx *Tx) Shard() int { return tx.shard }
+
+// ArrivalShard returns the shard owning this transmitter's arrival side.
+func (tx *Tx) ArrivalShard() int { return tx.wire.dstShard }
 
 // Freeze stalls the transmitter while leaving the wire intact: packets
 // already propagating still arrive (a host NIC stall — PCIe hiccup,
@@ -363,8 +434,9 @@ func (tx *Tx) LinkDown() bool { return tx.down }
 // (uniform loss and drop filters).
 func (tx *Tx) InjectedDrops() int64 { return tx.wire.Dropped }
 
-// DownDrops returns packets lost because the link was down.
-func (tx *Tx) DownDrops() int64 { return tx.wire.DownDropped }
+// DownDrops returns packets lost because the link was down, summing the
+// hand-off (source) and in-flight (arrival) halves.
+func (tx *Tx) DownDrops() int64 { return tx.wire.DownDropped + tx.wire.arrDownDropped }
 
 // BurstyDrops returns packets lost to the Gilbert–Elliott channel.
 func (tx *Tx) BurstyDrops() int64 { return tx.wire.GEDropped }
@@ -401,6 +473,31 @@ func Connect(s *sim.Sim, a Device, ap int, b Device, bp int, rateBps int64, dela
 	btx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, a, ap)}
 	atx.ev = s.NewEvent(txSerDone, atx)
 	btx.ev = s.NewEvent(txSerDone, btx)
+	a.attach(ap, atx)
+	b.attach(bp, btx)
+	return atx, btx
+}
+
+// ConnectSharded joins a's port ap (on shard ashard of g) and b's port
+// bp (on shard bshard) with a full-duplex link whose arrivals cross the
+// group's mailboxes. Each transmitter runs on its source shard's clock;
+// wire ids wireBase (a→b) and wireBase+1 (b→a) key the canonical
+// barrier injection order, so they must be unique across the network.
+// The link's one-way delay must be at least the group's lookahead.
+func ConnectSharded(g *sim.Group, a Device, ap, ashard int, b Device, bp, bshard int,
+	rateBps int64, delay sim.Time, wireBase uint32) (atx, btx *Tx) {
+	if delay < g.Lookahead() {
+		panic("fabric: sharded link delay below group lookahead")
+	}
+	sa, sb := g.Shard(ashard), g.Shard(bshard)
+	atx = &Tx{sim: sa, RateBps: rateBps, wire: newWire(sa, delay, b, bp)}
+	btx = &Tx{sim: sb, RateBps: rateBps, wire: newWire(sb, delay, a, ap)}
+	atx.wire.group, atx.wire.id = g, wireBase
+	btx.wire.group, btx.wire.id = g, wireBase+1
+	atx.SetShards(ashard, bshard)
+	btx.SetShards(bshard, ashard)
+	atx.ev = sa.NewEvent(txSerDone, atx)
+	btx.ev = sb.NewEvent(txSerDone, btx)
 	a.attach(ap, atx)
 	b.attach(bp, btx)
 	return atx, btx

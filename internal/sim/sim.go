@@ -295,3 +295,20 @@ func (s *Sim) RunAll() Time {
 
 // Pending returns the number of live (scheduled, non-cancelled) events.
 func (s *Sim) Pending() int { return s.live }
+
+// NextTime returns the time of the earliest pending event, if any. It is
+// a pure peek: the wheel cursor does not move, so interleaving NextTime
+// with horizon-bounded runs is safe. Group uses it to compute the global
+// lower bound each synchronization window.
+func (s *Sim) NextTime() (Time, bool) { return s.peek() }
+
+// AlignClock advances the clock to t without running anything. Group
+// calls it after the last window so every shard reads the same end time
+// (paused-clock accounting samples Now after the run). Moving time
+// backwards would corrupt causality and panics.
+func (s *Sim) AlignClock(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: AlignClock to %v before now %v", t, s.now))
+	}
+	s.now = t
+}

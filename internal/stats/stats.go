@@ -14,14 +14,23 @@ import (
 
 // FlowRecord tracks one flow's lifetime statistics. Transports mutate the
 // exported counters directly while the flow runs.
+//
+// In a sharded run a flow's sender and receiver may live on different
+// shards, so the record's fields are split by owner: End/Done and the
+// Rx* counters belong to the receiver, everything else to the sender.
+// Neither side reads or writes the other's fields mid-run; aggregates
+// that need both (ImportantFraction) sum them after the run joins.
 type FlowRecord struct {
 	Flow *transport.Flow
+	// End / Done are stamped by the receiver at completion.
 	End  sim.Time
 	Done bool
 	// Aborted marks a flow its sender gave up on (max retries exhausted
-	// against a black hole). End is stamped at the abort; Done stays
-	// false so aborted flows never contaminate FCT statistics.
-	Aborted bool
+	// against a black hole), with the abort instant in AbortEnd. Done
+	// stays false unless the completion was already in flight, so
+	// aborted flows never contaminate FCT statistics.
+	Aborted  bool
+	AbortEnd sim.Time
 
 	Timeouts    int // RTO expirations
 	RTOLowFires int // IRN RTO_low expirations (cheap designed recovery, not counted as timeouts)
@@ -33,6 +42,12 @@ type FlowRecord struct {
 	TotalBytes  int64 // wire bytes sent
 	ClockBytes  int64 // bytes injected by important ACK-clocking
 	ClockSends  int   // important ACK-clocking transmissions
+
+	// Receiver-owned mirrors of the wire-byte counters, for transports
+	// whose receiver sends autonomously (RoCE ACK/CNP generation).
+	RxImpPackets int
+	RxImpBytes   int64
+	RxTotalBytes int64
 }
 
 // FCT returns the flow completion time.
@@ -93,17 +108,19 @@ func (rec *Recorder) FlowDone(fr *FlowRecord, at sim.Time) {
 }
 
 // FlowAborted finalizes a record for a sender that gave up (terminal,
-// but never counted as completed).
+// but never counted as completed). Only sender-owned fields move: a
+// completion already in flight from the receiver may still land.
 func (rec *Recorder) FlowAborted(fr *FlowRecord, at sim.Time) {
-	fr.End = at
+	fr.AbortEnd = at
 	fr.Aborted = true
 }
 
-// AbortedCount returns how many flows were aborted.
+// AbortedCount returns how many flows ended in a terminal abort — the
+// sender gave up and no completion ever arrived.
 func (rec *Recorder) AbortedCount() int {
 	n := 0
 	for _, fr := range rec.Flows {
-		if fr.Aborted {
+		if fr.Aborted && !fr.Done {
 			n++
 		}
 	}
@@ -167,8 +184,8 @@ func (rec *Recorder) FlowsWithTimeouts() int {
 func (rec *Recorder) ImportantFraction() float64 {
 	var imp, tot int64
 	for _, fr := range rec.Flows {
-		imp += fr.ImpBytes
-		tot += fr.TotalBytes
+		imp += fr.ImpBytes + fr.RxImpBytes
+		tot += fr.TotalBytes + fr.RxTotalBytes
 	}
 	if tot == 0 {
 		return 0

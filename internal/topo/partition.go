@@ -1,0 +1,94 @@
+package topo
+
+// Partition assigns n switches to shards for parallel execution. It
+// balances the per-switch weights (a switch's event load is roughly
+// proportional to its port count, so callers weight ToRs by their
+// attached hosts) while preferring, among equally loaded shards, the
+// one already holding the most neighbors — a greedy min-cut-ish rule
+// that clusters chains and pods without an exact graph cut. Heavier
+// switches place first so the balance is decided by the big items.
+//
+// The result depends only on the arguments, never on map order or
+// randomness: the same topology partitions the same way in every run,
+// which the byte-identical-reports contract requires.
+func Partition(n, shards int, weight []int, links [][2]int) []int {
+	if shards < 1 {
+		shards = 1
+	}
+	assign := make([]int, n)
+	if shards == 1 {
+		return assign
+	}
+
+	adj := make([][]int, n)
+	for _, l := range links {
+		a, b := l[0], l[1]
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+
+	// Placement order: descending weight, index-stable.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		x := order[i]
+		j := i - 1
+		for j >= 0 && weight[order[j]] < weight[x] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
+
+	// Loads are capped at the perfectly balanced share (rounded up):
+	// a switch joins the shard with the most neighbors among those
+	// still under the cap, falling back to least-loaded when every
+	// shard is at it. Ties break by load, then shard index.
+	total := 0
+	w := make([]int, n)
+	for i := range w {
+		w[i] = weight[i]
+		if w[i] < 1 {
+			w[i] = 1
+		}
+		total += w[i]
+	}
+	capacity := (total + shards - 1) / shards
+
+	load := make([]int, shards)
+	placed := make([]bool, n)
+	for _, sw := range order {
+		best, bestLoad, bestAff := -1, 0, 0
+		pick := func(s, aff int) {
+			if best == -1 || aff > bestAff ||
+				(aff == bestAff && load[s] < bestLoad) {
+				best, bestLoad, bestAff = s, load[s], aff
+			}
+		}
+		for s := 0; s < shards; s++ {
+			if load[s]+w[sw] > capacity {
+				continue
+			}
+			aff := 0
+			for _, nb := range adj[sw] {
+				if placed[nb] && assign[nb] == s {
+					aff++
+				}
+			}
+			pick(s, aff)
+		}
+		if best == -1 { // every shard at the cap: least-loaded wins
+			for s := 0; s < shards; s++ {
+				if best == -1 || load[s] < bestLoad {
+					best, bestLoad = s, load[s]
+				}
+			}
+		}
+		assign[sw] = best
+		placed[sw] = true
+		load[best] += w[sw]
+	}
+	return assign
+}

@@ -16,8 +16,25 @@ type Network struct {
 	Hosts    []*fabric.Host
 	Switches []*fabric.Switch
 	// Pool is the packet free-list shared by every host of this network
-	// (one per simulation; the event loop is single-threaded).
+	// (one per simulation; the event loop is single-threaded). In a
+	// sharded build it is shard 0's pool; see Pools.
 	Pool *packet.Pool
+
+	// Group is the shard group a sharded build runs on (nil classic).
+	// Hosts live on their ToR's shard, every inter-switch wire crosses
+	// the group's mailboxes — at every shard count, including one, so
+	// the event order is partition-independent.
+	Group *sim.Group
+	// HostShard / SwitchShard give each device's shard (all zero when
+	// Group is nil). Fault injectors use them to run mutations on the
+	// owning shard.
+	HostShard   []int
+	SwitchShard []int
+	// Pools holds the per-shard packet free-lists (len 1 when Group is
+	// nil). A packet is always got from and put to the pool of the
+	// shard touching it; packets migrate between pools as they cross
+	// the fabric, which is safe because Put fully zeroes.
+	Pools []*packet.Pool
 	// Txs lists every fabric-side transmitter (switch→switch and
 	// switch→host and host→switch), for pause-time accounting.
 	Txs         []*fabric.Tx
@@ -43,6 +60,9 @@ type Network struct {
 	// path diversity install it; topologies without alternates leave it
 	// nil and keep black-holing.
 	reroute func(failed []bool)
+	// rerouteOne reinstalls routes on a single switch, for sharded
+	// fault schedules that must mutate each switch on its own shard.
+	rerouteOne func(i int, failed []bool)
 }
 
 // SwitchLink is one full-duplex switch-to-switch cable.
@@ -76,6 +96,26 @@ func (n *Network) Reroute() {
 		n.failedSwitches = make([]bool, len(n.Switches))
 	}
 	n.reroute(n.failedSwitches)
+}
+
+// RerouteSwitch reinstalls failure-aware routes on switch i alone,
+// using the caller's snapshot of the control-plane failed view instead
+// of the network's. Resolved fault schedules run it as a per-switch
+// event on the switch's own shard, so a fabric-wide reconvergence is a
+// set of same-instant shard-local route updates.
+func (n *Network) RerouteSwitch(i int, failed []bool) {
+	if n.rerouteOne != nil {
+		n.rerouteOne(i, failed)
+	}
+}
+
+// ShardSim returns the simulator owning shard i (the network's only
+// simulator when unsharded).
+func (n *Network) ShardSim(i int) *sim.Sim {
+	if n.Group == nil {
+		return n.Sim
+	}
+	return n.Group.Shard(i)
 }
 
 // Counters sums the switch counters across the fabric.
@@ -122,6 +162,16 @@ type LeafSpineConfig struct {
 	// quanta), so a NIC paused by a switch that then dies recovers.
 	// Zero keeps pauses latched until RESUME (the seed model).
 	HostPauseTimeout sim.Time
+
+	// Group, when set, builds the fabric sharded across the group's
+	// simulators: switches are partitioned min-cut-ish (hosts pinned to
+	// their ToR's shard), host↔ToR links stay direct on the shared
+	// shard, and every ToR↔spine wire goes through the group mailboxes
+	// — at every shard count, including one, so the firing order is
+	// identical no matter how the fabric is split. The group's
+	// lookahead must not exceed LinkDelay. Nil builds the classic
+	// single-simulator network on s.
+	Group *sim.Group
 }
 
 // DefaultLeafSpine returns the paper's simulation fabric: 4 spines, 12
@@ -141,15 +191,68 @@ func DefaultLeafSpine(delay sim.Time) LeafSpineConfig {
 	}
 }
 
-// LeafSpine builds the fabric and installs ECMP routing.
+// LeafSpine builds the fabric and installs ECMP routing. With
+// cfg.Group set the build is sharded: see LeafSpineConfig.Group.
 func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
-	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps, Pool: packet.NewPool()}
+	g := cfg.Group
+	shards := 1
+	if g != nil {
+		shards = g.Shards()
+		s = g.Shard(0)
+	}
+	n := &Network{Sim: s, Group: g, LinkRateBps: cfg.LinkRateBps}
+	for i := 0; i < shards; i++ {
+		n.Pools = append(n.Pools, packet.NewPool())
+	}
+	n.Pool = n.Pools[0]
 	numHosts := cfg.Tors * cfg.HostsPerTor
 	rng := sim.NewRNG(0x7a17 + cfg.SeedSalt)
 
+	// Partition switches (ToRs first, then spines, matching the
+	// Switches slice): ToRs weigh their attached hosts, every uplink is
+	// an affinity edge. Hosts are pinned to their ToR's shard so the
+	// host↔ToR links never cross shards.
+	torShard := make([]int, cfg.Tors)
+	spineShard := make([]int, cfg.Spines)
+	if g != nil {
+		weight := make([]int, cfg.Tors+cfg.Spines)
+		var links [][2]int
+		for t := 0; t < cfg.Tors; t++ {
+			weight[t] = 1 + cfg.HostsPerTor
+			for c := 0; c < cfg.Spines; c++ {
+				links = append(links, [2]int{t, cfg.Tors + c})
+			}
+		}
+		for c := 0; c < cfg.Spines; c++ {
+			weight[cfg.Tors+c] = 1
+		}
+		assign := Partition(cfg.Tors+cfg.Spines, shards, weight, links)
+		copy(torShard, assign[:cfg.Tors])
+		copy(spineShard, assign[cfg.Tors:])
+	}
+	simFor := func(shard int) *sim.Sim {
+		if g == nil {
+			return s
+		}
+		return g.Shard(shard)
+	}
+	// In a sharded build every switch gets its own ECN RNG stream,
+	// derived here in build order so the streams — like everything else
+	// about the build — do not depend on the partition. The classic
+	// build keeps the shared topology stream.
+	swRNG := func() *sim.RNG {
+		if g == nil {
+			return rng
+		}
+		return sim.NewRNG(rng.Int63())
+	}
+
+	n.HostShard = make([]int, numHosts)
 	for h := 0; h < numHosts; h++ {
-		host := fabric.NewHost(s, packet.NodeID(h))
-		host.SetPool(n.Pool)
+		sh := torShard[h/cfg.HostsPerTor]
+		n.HostShard[h] = sh
+		host := fabric.NewHost(simFor(sh), packet.NodeID(h))
+		host.SetPool(n.Pools[sh])
 		n.Hosts = append(n.Hosts, host)
 	}
 	torID := func(t int) packet.NodeID { return packet.NodeID(1000 + t) }
@@ -159,31 +262,47 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 	for t := range tors {
 		sc := cfg.Switch
 		sc.Ports = cfg.HostsPerTor + cfg.Spines
-		tors[t] = fabric.NewSwitch(s, torID(t), rng, sc)
-		tors[t].SetPool(n.Pool)
+		tors[t] = fabric.NewSwitch(simFor(torShard[t]), torID(t), swRNG(), sc)
+		tors[t].SetPool(n.Pools[torShard[t]])
 		n.Switches = append(n.Switches, tors[t])
+		n.SwitchShard = append(n.SwitchShard, torShard[t])
 	}
 	spines := make([]*fabric.Switch, cfg.Spines)
 	for c := range spines {
 		sc := cfg.Switch
 		sc.Ports = cfg.Tors
-		spines[c] = fabric.NewSwitch(s, spineID(c), rng, sc)
-		spines[c].SetPool(n.Pool)
+		spines[c] = fabric.NewSwitch(simFor(spineShard[c]), spineID(c), swRNG(), sc)
+		spines[c].SetPool(n.Pools[spineShard[c]])
 		n.Switches = append(n.Switches, spines[c])
+		n.SwitchShard = append(n.SwitchShard, spineShard[c])
 	}
 
 	// Host <-> ToR links: host h on ToR h/HostsPerTor, ToR port h%HostsPerTor.
 	for h := 0; h < numHosts; h++ {
 		t := h / cfg.HostsPerTor
 		p := h % cfg.HostsPerTor
-		a, b := fabric.Connect(s, n.Hosts[h], 0, tors[t], p, cfg.LinkRateBps, cfg.LinkDelay)
+		sh := torShard[t]
+		a, b := fabric.Connect(simFor(sh), n.Hosts[h], 0, tors[t], p, cfg.LinkRateBps, cfg.LinkDelay)
+		a.SetShards(sh, sh)
+		b.SetShards(sh, sh)
 		a.SetPauseTimeout(cfg.HostPauseTimeout)
 		n.Txs = append(n.Txs, a, b)
 	}
-	// ToR <-> spine links: ToR uplink port HostsPerTor+c to spine c port t.
+	// ToR <-> spine links: ToR uplink port HostsPerTor+c to spine c port
+	// t. Sharded builds route these through the group mailboxes whether
+	// or not the endpoints share a shard — the mailbox order must be
+	// the only order that ever exists.
+	var wireID uint32
 	for t := range tors {
 		for c := range spines {
-			a, b := fabric.Connect(s, tors[t], cfg.HostsPerTor+c, spines[c], t, cfg.LinkRateBps, cfg.LinkDelay)
+			var a, b *fabric.Tx
+			if g != nil {
+				a, b = fabric.ConnectSharded(g, tors[t], cfg.HostsPerTor+c, torShard[t],
+					spines[c], t, spineShard[c], cfg.LinkRateBps, cfg.LinkDelay, wireID)
+				wireID += 2
+			} else {
+				a, b = fabric.Connect(s, tors[t], cfg.HostsPerTor+c, spines[c], t, cfg.LinkRateBps, cfg.LinkDelay)
+			}
 			n.Txs = append(n.Txs, a, b)
 			n.SwitchLinks = append(n.SwitchLinks, SwitchLink{
 				A: tors[t], APort: cfg.HostsPerTor + c, B: spines[c], BPort: t,
@@ -216,7 +335,7 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 	// alternate path exists), so only spine health changes routes.
 	// With every spine dead the static routes stay put and black-hole —
 	// there is nothing better to install.
-	n.reroute = func(failed []bool) {
+	liveUplinks := func(failed []bool) []int {
 		live := make([]int, 0, cfg.Spines)
 		for c := 0; c < cfg.Spines; c++ {
 			if !failed[cfg.Tors+c] {
@@ -226,12 +345,26 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		if len(live) == 0 {
 			live = uplinks
 		}
-		for t, tor := range tors {
-			for h := 0; h < numHosts; h++ {
-				if h/cfg.HostsPerTor != t {
-					tor.SetRoute(packet.NodeID(h), live)
-				}
+		return live
+	}
+	rerouteTor := func(t int, live []int) {
+		for h := 0; h < numHosts; h++ {
+			if h/cfg.HostsPerTor != t {
+				tors[t].SetRoute(packet.NodeID(h), live)
 			}
+		}
+	}
+	n.reroute = func(failed []bool) {
+		live := liveUplinks(failed)
+		for t := range tors {
+			rerouteTor(t, live)
+		}
+	}
+	// Sharded reconvergence touches one switch per event so each route
+	// update runs on the owning shard; spines have nothing to reroute.
+	n.rerouteOne = func(i int, failed []bool) {
+		if i < cfg.Tors {
+			rerouteTor(i, liveUplinks(failed))
 		}
 	}
 
@@ -255,6 +388,7 @@ type StarConfig struct {
 // Star builds an N-host single switch network.
 func Star(s *sim.Sim, cfg StarConfig) *Network {
 	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps, Pool: packet.NewPool()}
+	n.Pools = []*packet.Pool{n.Pool}
 	rng := sim.NewRNG(0x57a6 + cfg.SeedSalt)
 	sc := cfg.Switch
 	sc.Ports = cfg.Hosts
@@ -292,6 +426,7 @@ type DumbbellConfig struct {
 // the left switch; the rest to the right switch.
 func Dumbbell(s *sim.Sim, cfg DumbbellConfig) *Network {
 	n := &Network{Sim: s, LinkRateBps: cfg.LinkRateBps, Pool: packet.NewPool()}
+	n.Pools = []*packet.Pool{n.Pool}
 	rng := sim.NewRNG(0xd0bb + cfg.SeedSalt)
 	lc := cfg.Switch
 	lc.Ports = cfg.LeftHosts + 1

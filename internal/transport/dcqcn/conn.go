@@ -23,23 +23,27 @@ func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Conf
 	rcv := NewReceiver(s, dst, flow, cfg, rec)
 	src.Register(flow.ID, snd)
 	dst.Register(flow.ID, rcv)
+	// Completion runs on the receiver's shard, abort on the sender's;
+	// each closure touches only its own side of the record (see
+	// stats.FlowRecord). onDone callers that must fire once per flow
+	// deduplicate themselves.
 	rcv.OnComplete = func() {
 		if !rec.Done {
-			recorder.FlowDone(rec, s.Now())
+			recorder.FlowDone(rec, dst.Sim().Now())
 			if onDone != nil {
 				onDone(rec)
 			}
 		}
 	}
 	snd.OnAbort = func() {
-		if rec.Done || rec.Aborted {
+		if rec.Aborted {
 			return
 		}
-		recorder.FlowAborted(rec, s.Now())
+		recorder.FlowAborted(rec, src.Sim().Now())
 		if onDone != nil {
 			onDone(rec)
 		}
 	}
-	s.At(flow.Start, snd.Start)
+	src.Sim().At(flow.Start, snd.Start)
 	return &Conn{Sender: snd, Receiver: rcv}
 }

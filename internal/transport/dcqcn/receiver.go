@@ -42,7 +42,7 @@ func NewReceiver(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config
 		n = 1
 	}
 	r := &Receiver{
-		s: s, host: host, flow: flow, cfg: cfg, rec: rec,
+		s: host.Sim(), host: host, flow: flow, cfg: cfg, rec: rec,
 		n: n, lastNackFor: -1,
 	}
 	if cfg.Mode == IRN && cfg.TLT.Enabled {
@@ -163,11 +163,12 @@ func (r *Receiver) buildAck(cum int64, blocks []packet.SackBlock, mark packet.Ma
 
 func (r *Receiver) send(pkt *packet.Packet) {
 	if r.rec != nil {
+		// Receiver-owned counters: the sender may live on another shard.
 		size := int64(pkt.WireSize())
-		r.rec.TotalBytes += size
+		r.rec.RxTotalBytes += size
 		if pkt.Important() {
-			r.rec.ImpPackets++
-			r.rec.ImpBytes += size
+			r.rec.RxImpPackets++
+			r.rec.RxImpBytes += size
 		}
 	}
 	r.host.Send(pkt)

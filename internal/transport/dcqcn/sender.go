@@ -70,7 +70,7 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 	lastLen := int(flow.Size - (n-1)*int64(cfg.MSS))
 	cfg.TLT.Flow = flow.ID
 	snd := &Sender{
-		s: s, host: host, flow: flow, cfg: cfg,
+		s: host.Sim(), host: host, flow: flow, cfg: cfg,
 		rec: rec, recorder: recorder, onDone: onDone,
 		n: n, lastLen: lastLen,
 		board:  transport.NewPktBoard(n),

@@ -86,7 +86,7 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 	winit := float64(cfg.LineRateBps/8) * cfg.BaseRTT.Seconds()
 	cfg.TLT.Flow = flow.ID
 	return &Sender{
-		s: s, host: host, flow: flow, cfg: cfg,
+		s: host.Sim(), host: host, flow: flow, cfg: cfg,
 		rec: rec, onDone: onDone,
 		n: n, lastLen: int(flow.Size - (n-1)*int64(cfg.MSS)),
 		board: transport.NewPktBoard(n),

@@ -36,7 +36,7 @@ func NewReceiver(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config
 		n = 1
 	}
 	return &Receiver{
-		s: s, host: host, flow: flow, cfg: cfg, rec: rec, n: n,
+		s: host.Sim(), host: host, flow: flow, cfg: cfg, rec: rec, n: n,
 		tlt: core.NewWindowReceiver(cfg.TLT),
 	}
 }
@@ -72,11 +72,12 @@ func (r *Receiver) Handle(pkt *packet.Packet) {
 	// pkt, which goes back on the free list when Handle returns.
 	ack.CopyINTFrom(pkt)
 	if r.rec != nil {
+		// Receiver-owned counters: the sender may live on another shard.
 		size := int64(ack.WireSize())
-		r.rec.TotalBytes += size
+		r.rec.RxTotalBytes += size
 		if ack.Important() {
-			r.rec.ImpPackets++
-			r.rec.ImpBytes += size
+			r.rec.RxImpPackets++
+			r.rec.RxImpBytes += size
 		}
 	}
 	r.host.Send(ack)
@@ -103,23 +104,27 @@ func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Conf
 	rcv := NewReceiver(s, dst, flow, cfg, rec)
 	src.Register(flow.ID, snd)
 	dst.Register(flow.ID, rcv)
+	// Completion runs on the receiver's shard, abort on the sender's;
+	// each closure touches only its own side of the record (see
+	// stats.FlowRecord). onDone callers that must fire once per flow
+	// deduplicate themselves.
 	rcv.OnComplete = func() {
 		if !rec.Done {
-			recorder.FlowDone(rec, s.Now())
+			recorder.FlowDone(rec, dst.Sim().Now())
 			if onDone != nil {
 				onDone(rec)
 			}
 		}
 	}
 	snd.OnAbort = func() {
-		if rec.Done || rec.Aborted {
+		if rec.Aborted {
 			return
 		}
-		recorder.FlowAborted(rec, s.Now())
+		recorder.FlowAborted(rec, src.Sim().Now())
 		if onDone != nil {
 			onDone(rec)
 		}
 	}
-	s.At(flow.Start, snd.Start)
+	src.Sim().At(flow.Start, snd.Start)
 	return snd, rcv
 }

@@ -32,24 +32,29 @@ func StartFlow(s *sim.Sim, src, dst *fabric.Host, flow *transport.Flow, cfg Conf
 	recorder *stats.Recorder, onDone func(*stats.FlowRecord)) *Conn {
 	rec := recorder.NewFlowRecord(flow)
 	c := NewConn(s, src, dst, flow, cfg, rec, recorder)
+	// Completion runs on the receiver's shard, abort on the sender's;
+	// each closure touches only its own side of the record and stamps
+	// its own shard's clock. A flow can finalize from both sides (abort
+	// racing a completion in flight), so onDone callers that must fire
+	// once deduplicate themselves.
 	c.Receiver.OnDeliver = func(total int64) {
 		if total >= flow.Size && !rec.Done {
-			recorder.FlowDone(rec, s.Now())
+			recorder.FlowDone(rec, dst.Sim().Now())
 			if onDone != nil {
 				onDone(rec)
 			}
 		}
 	}
 	c.Sender.OnAbort = func() {
-		if rec.Done || rec.Aborted {
+		if rec.Aborted {
 			return
 		}
-		recorder.FlowAborted(rec, s.Now())
+		recorder.FlowAborted(rec, src.Sim().Now())
 		if onDone != nil {
 			onDone(rec)
 		}
 	}
-	s.At(flow.Start, func() {
+	src.Sim().At(flow.Start, func() {
 		c.Sender.Write(flow.Size)
 		c.Sender.Close()
 	})

@@ -31,7 +31,7 @@ type Receiver struct {
 // NewReceiver constructs a receiver on host for flow.
 func NewReceiver(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config) *Receiver {
 	return &Receiver{
-		s: s, host: host, flow: flow, cfg: cfg,
+		s: host.Sim(), host: host, flow: flow, cfg: cfg,
 		tlt: core.NewWindowReceiver(cfg.TLT),
 	}
 }

@@ -92,7 +92,7 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 	rec *stats.FlowRecord, recorder *stats.Recorder, onDone func()) *Sender {
 	cfg.TLT.Flow = flow.ID
 	snd := &Sender{
-		s: s, host: host, flow: flow, cfg: cfg,
+		s: host.Sim(), host: host, flow: flow, cfg: cfg,
 		rec: rec, recorder: recorder, onDone: onDone,
 		cwnd:     float64(cfg.InitWindowSegs * cfg.MSS),
 		ssthresh: cfg.MaxCwndBytes,
