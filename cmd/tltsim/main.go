@@ -41,6 +41,8 @@ func main() {
 		benchOut  = flag.String("bench-out", "", "write per-experiment bench records (wall clock, events/sec, allocs) to this JSON file")
 		benchRep  = flag.Int("bench-repeat", 1, "run each bench entry this many times and record the median-events/s run")
 		chaosSpec = flag.String("chaos", "", "fault schedule, e.g. 'flap:link=rand,at=200us,down=50us,every=2ms;seed=7'")
+		mmuFlag   = flag.String("mmu", "", "switch buffer policy for all runs: ch (default), bshare, tiny")
+		fcFlag    = flag.String("fc", "", "switch flow control for all runs: pfc, bfc, none ('' keeps each variant's own)")
 		auditFlag = flag.Bool("audit", false, "attach the runtime invariant auditor (panics on first violation)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -83,6 +85,7 @@ func main() {
 	experiments.SetHarness(plan, *auditFlag)
 	experiments.SetProcs(*procs)
 	experiments.SetShards(*shards)
+	experiments.SetPolicies(*mmuFlag, *fcFlag)
 
 	if *list {
 		for _, e := range experiments.All {

@@ -275,25 +275,18 @@ func (a *Auditor) OnDrop(sw *fabric.Switch, egress, tc int, pkt *packet.Packet, 
 		}
 		a.checkAccounting(sw, sh, egress, tc, pkt, "flush")
 		return
-	case fabric.DropReasonBufferFull:
-		if free >= size {
-			a.violate(ctx("buffer-full drop with headroom"))
-		}
-	case fabric.DropReasonColor:
-		// The paper's protection guarantee: color-aware dropping may
-		// only ever discard red (unimportant) packets.
-		if green {
-			a.violate(ctx("green packet dropped by color threshold"))
-		}
-		if cfg.ColorThreshold <= 0 || qBytes < cfg.ColorThreshold {
-			a.violate(ctx("color drop below threshold K"))
-		}
-	case fabric.DropReasonDynamic:
-		if cfg.PFC {
-			a.violate(ctx("dynamic-threshold drop in lossless (PFC) mode"))
-		}
-		if float64(qBytes)+float64(size) <= cfg.Alpha*float64(free) {
-			a.violate(ctx("dynamic-threshold drop with headroom"))
+	default:
+		// Admission drops (buffer-full, color, dynamic-threshold,
+		// policy-specific) are justified by the installed BufferPolicy:
+		// its CheckDrop re-evaluates the recorded decision-time state
+		// under the policy's own admission rules, so the shadow
+		// accounting validates against the policy's view rather than a
+		// hardcoded Choudhury–Hahne model. The default policy's checks
+		// are the historical ones (headroom really short, the CH
+		// condition held and never under lossless flow control, green
+		// never dropped by the color threshold).
+		if msg := sw.Policy().CheckDrop(reason, tc, qBytes, free, size, green); msg != "" {
+			a.violate(ctx(msg))
 		}
 	}
 	// A drop leaves occupancy untouched; the counters must still agree.

@@ -366,13 +366,15 @@ func (e *Engine) scheduleShrink(sh BufferShrink) {
 	var fire func()
 	fire = func() {
 		for _, i := range sws {
-			sw := e.net.Switches[i]
-			sw.SetBufferLimit(int64(frac * float64(sw.Config().BufferBytes)))
+			// Route the shrink through the switch's BufferPolicy: a
+			// policy with its own capacity notion (tiny-buffer) shrinks
+			// proportionally, and legacy and resolved mode agree.
+			e.net.Switches[i].ShrinkBuffer(frac)
 		}
 		e.ctr.BufferShrinks++
 		e.s.After(sh.Duration, func() {
 			for _, i := range sws {
-				e.net.Switches[i].SetBufferLimit(0) // restore
+				e.net.Switches[i].ShrinkBuffer(0) // restore
 			}
 		})
 		occurrences++

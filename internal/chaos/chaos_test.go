@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tlt/internal/fabric"
+	_ "tlt/internal/fabric/mmu"
 	"tlt/internal/packet"
 	"tlt/internal/sim"
 	"tlt/internal/stats"
@@ -200,6 +201,44 @@ func TestShrinkRestores(t *testing.T) {
 	s.RunAll()
 	if got := sw.BufferLimit(); got != 100_000 {
 		t.Errorf("post-shrink BufferLimit = %d, want restored 100000", got)
+	}
+}
+
+// TestShrinkRoutesThroughPolicy: the shrink fault mutates the switch's
+// BufferPolicy, so a policy with its own capacity notion (tiny: 1/10 of
+// the physical buffer) shrinks proportionally — and the legacy engine
+// and the resolved engine agree on the resulting limits.
+func TestShrinkRoutesThroughPolicy(t *testing.T) {
+	plan := &Plan{Shrinks: []BufferShrink{{Switch: 0, At: 10 * us, Duration: 50 * us, Frac: 0.1}}}
+	for _, resolved := range []bool{false, true} {
+		s := sim.New()
+		net := topo.Star(s, topo.StarConfig{
+			Hosts: 2, LinkRateBps: 40e9, LinkDelay: us,
+			Switch: fabric.SwitchConfig{BufferBytes: 100_000, Alpha: 1, MMU: "tiny"},
+		})
+		var err error
+		if resolved {
+			_, err = plan.ApplyResolved(net, 1, 200*us)
+		} else {
+			_, err = plan.Apply(s, net, 1)
+		}
+		if err != nil {
+			t.Fatalf("resolved=%v: %v", resolved, err)
+		}
+		sw := net.Switches[0]
+		if got := sw.BufferLimit(); got != 10_000 {
+			t.Fatalf("resolved=%v: tiny BufferLimit = %d, want 10000", resolved, got)
+		}
+		s.At(30*us, func() {
+			if got := sw.BufferLimit(); got != 1_000 {
+				t.Errorf("resolved=%v: mid-shrink tiny BufferLimit = %d, want 1000 (0.1 × tiny capacity)",
+					resolved, got)
+			}
+		})
+		s.RunAll()
+		if got := sw.BufferLimit(); got != 10_000 {
+			t.Errorf("resolved=%v: post-shrink tiny BufferLimit = %d, want restored 10000", resolved, got)
+		}
 	}
 }
 

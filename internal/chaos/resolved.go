@@ -95,6 +95,24 @@ func (e *Engine) post(shard int, at sim.Time, fn func()) {
 	e.net.ShardSim(shard).At(at, fn)
 }
 
+// switchShard returns switch i's shard, tolerating topologies that
+// don't populate shard metadata (Star, dumbbell — everything lives on
+// shard 0 there).
+func (e *Engine) switchShard(i int) int {
+	if i < len(e.net.SwitchShard) {
+		return e.net.SwitchShard[i]
+	}
+	return 0
+}
+
+// hostShard is switchShard for hosts.
+func (e *Engine) hostShard(i int) int {
+	if i < len(e.net.HostShard) {
+		return e.net.HostShard[i]
+	}
+	return 0
+}
+
 func (e *Engine) pickHost(idx int) int {
 	if idx == RandomTarget {
 		idx = e.rng.Intn(len(e.net.Hosts))
@@ -217,16 +235,18 @@ func (e *Engine) resolveShrink(sh BufferShrink, horizon sim.Time) {
 		slot := e.newSlot(slotShrink)
 		for k, i := range sws {
 			sw := e.net.Switches[i]
-			shard := e.net.SwitchShard[i]
-			limit := int64(sh.Frac * float64(sw.Config().BufferBytes))
+			shard := e.switchShard(i)
 			mark := k == 0
+			// Same policy-routed mutation as legacy Apply: the fraction
+			// is resolved here, the policy computes the byte limit from
+			// its own capacity at fire time.
 			e.post(shard, t, func() {
-				sw.SetBufferLimit(limit)
+				sw.ShrinkBuffer(sh.Frac)
 				if mark {
 					e.slotFired[slot] = true
 				}
 			})
-			e.post(shard, t+sh.Duration, func() { sw.SetBufferLimit(0) })
+			e.post(shard, t+sh.Duration, func() { sw.ShrinkBuffer(0) })
 		}
 	}
 }
@@ -234,7 +254,7 @@ func (e *Engine) resolveShrink(sh BufferShrink, horizon sim.Time) {
 func (e *Engine) resolveFreeze(fr NICFreeze, horizon sim.Time) {
 	for _, t := range chainTimes(fr.At, fr.Every, fr.Count, 0, horizon) {
 		idx := e.pickHost(fr.Host)
-		shard := e.net.HostShard[idx]
+		shard := e.hostShard(idx)
 		tx := e.net.Hosts[idx].NICTx()
 		slot := e.newSlot(slotFreeze)
 		e.post(shard, t, func() {
@@ -300,7 +320,7 @@ func (e *Engine) resolveSwitchFails(fails []SwitchFail, horizon sim.Time) {
 			perm[o.sw] = true
 		}
 		sw := e.net.Switches[o.sw]
-		shard := e.net.SwitchShard[o.sw]
+		shard := e.switchShard(o.sw)
 		slot := e.newSlot(slotSwFail)
 		e.post(shard, o.t, func() {
 			sw.Fail()
@@ -331,7 +351,7 @@ func (e *Engine) resolveSwitchFails(fails []SwitchFail, horizon sim.Time) {
 		snapshot := append([]bool(nil), failed...)
 		for j := range e.net.Switches {
 			sw := j
-			e.post(e.net.SwitchShard[sw], t, func() {
+			e.post(e.switchShard(sw), t, func() {
 				e.net.RerouteSwitch(sw, snapshot)
 			})
 		}
@@ -358,7 +378,7 @@ func (e *Engine) resolveStorm(st PauseStorm) {
 	}
 	idx := e.pickHost(st.Host)
 	h := e.net.Hosts[idx]
-	hsim := e.net.ShardSim(e.net.HostShard[idx])
+	hsim := e.net.ShardSim(e.hostShard(idx))
 	slot := e.newSlot(slotStorm)
 	frames := len(e.stormFrames)
 	e.stormFrames = append(e.stormFrames, 0)

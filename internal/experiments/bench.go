@@ -31,6 +31,12 @@ type BenchRecord struct {
 	Repeats     int      `json:"repeats,omitempty"`
 	ShardEvents []uint64 `json:"shard_events,omitempty"`
 
+	// MMU and FC record the session policy overrides (-mmu / -fc) the
+	// entry ran under, so bench history distinguishes buffer-policy
+	// regimes. Empty means each variant's own (default) policies.
+	MMU string `json:"mmu,omitempty"`
+	FC  string `json:"fc,omitempty"`
+
 	// Scheduler-internal counters aggregated over the grid. DeadPops is
 	// the key health metric: cancelled timers that still paid a heap pop
 	// (queue pollution the dead-timer reclamation failed to absorb).
@@ -101,10 +107,13 @@ func measureOnce(e Entry, scale Scale) (BenchRecord, *Report) {
 
 	cells, events := rep.GridStats()
 	sched := rep.SchedStats()
+	mmuName, fcName := Policies()
 	rec := BenchRecord{
 		Experiment:    e.ID,
 		Procs:         Procs(),
 		Shards:        Shards(),
+		MMU:           mmuName,
+		FC:            fcName,
 		ShardEvents:   rep.ShardEvents(),
 		Cells:         cells,
 		Rows:          len(rep.Rows),

@@ -33,9 +33,12 @@ func Dumbbell(scale Scale) *Report {
 	for _, tlt := range []bool{false, true} {
 		v := Variant{Transport: "dctcp", TLT: tlt, PFC: true}
 		rc := RunConfig{
-			Label: v.Name() + " dumbbell",
+			Label:   v.Name() + " dumbbell",
+			Variant: v,
+			// rc.Variant (not the captured v) carries the session -mmu/-fc
+			// overrides folded in by RunGrid.
 			Custom: func(rc RunConfig) *Result {
-				return runDumbbell(tlt, fgFlows, rc.Seed)
+				return runDumbbell(rc.Variant, fgFlows, rc.Seed)
 			},
 		}
 		sw.add0(rc, scale.Seeds, func(rs []*Result) {
@@ -74,7 +77,8 @@ type dumbbellResult struct {
 	drops        int64
 }
 
-func runDumbbell(tlt bool, fgFlows int, seed int64) *Result {
+func runDumbbell(v Variant, fgFlows int, seed int64) *Result {
+	tlt := v.TLT
 	s := sim.New()
 	swc := fabric.SwitchConfig{
 		// Netberg Aurora 420 / Trident II: 12 MB shared buffer.
@@ -83,6 +87,8 @@ func runDumbbell(tlt bool, fgFlows int, seed int64) *Result {
 		ECN:         fabric.ECNStep,
 		KEcn:        200_000,
 		PFC:         true,
+		MMU:         v.MMU,
+		FC:          v.FC,
 	}
 	swc.XOff = swc.BufferBytes / 32
 	swc.XOn = swc.XOff - 2096

@@ -73,11 +73,14 @@ func Fig12(scale Scale) *Report {
 	for _, v := range variants {
 		for _, reqs := range points {
 			rc := RunConfig{
-				Label: fmt.Sprintf("%s fig12 flows=%d", v.Name(), reqs),
+				Label:   fmt.Sprintf("%s fig12 flows=%d", v.Name(), reqs),
+				Variant: v,
+				// Build from rc.Variant, not the captured v: RunGrid folds
+				// the session -mmu/-fc overrides into rc.Variant only.
 				Custom: func(rc RunConfig) *Result {
-					s, n := testbedStar(v, 10, rc.Audit)
+					s, n := testbedStar(rc.Variant, 10, rc.Audit)
 					rec := stats.NewRecorder()
-					cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
+					cl := app.NewCacheCluster(s, n.Hosts, rc.Variant.tcpConfig(), rec, 1)
 					rts := cl.RunSetBurst(reqs, sim.Time(rc.Seed)*sim.Microsecond)
 					s.Run(5 * sim.Second)
 					res := &Result{Rec: rec, EventsRun: s.Processed, Sched: s.Sched}
@@ -132,13 +135,14 @@ func Fig13(scale Scale) *Report {
 		{Transport: "dctcp", TLT: true},
 	} {
 		rc := RunConfig{
-			Label: v.Name() + " fig13",
+			Label:   v.Name() + " fig13",
+			Variant: v,
 			Custom: func(rc RunConfig) *Result {
-				s, n := testbedStar(v, 10, rc.Audit)
+				s, n := testbedStar(rc.Variant, 10, rc.Audit)
 				rec := stats.NewRecorder()
 				// hosts[0]=client (unused), 1..8 web servers, 9=redis; the
 				// bg sender is the client host to keep servers clean.
-				cl := app.NewCacheCluster(s, n.Hosts, v.tcpConfig(), rec, 1)
+				cl := app.NewCacheCluster(s, n.Hosts, rc.Variant.tcpConfig(), rec, 1)
 				mr := cl.RunMixed(152, n.Hosts[0], 8_000_000, 0)
 				s.Run(5 * sim.Second)
 				return &Result{Rec: rec, EventsRun: s.Processed, Sched: s.Sched, App: mixedCell{
@@ -195,8 +199,9 @@ func Fig14(scale Scale) *Report {
 	for _, v := range variants {
 		for _, flowsN := range points {
 			rc := RunConfig{
-				Label:  fmt.Sprintf("%s fig14 flows=%d", v.Name(), flowsN),
-				Custom: incastCell(v, flowsN),
+				Label:   fmt.Sprintf("%s fig14 flows=%d", v.Name(), flowsN),
+				Variant: v,
+				Custom:  incastCell(flowsN),
 			}
 			sw.add0(rc, scale.Seeds, func(rs []*Result) {
 				var p99s, p50s []float64
@@ -225,11 +230,11 @@ type incastResult struct {
 	timeouts int
 }
 
-// incastCell wraps runIncastStar as a grid cell; the seed and audit flag
+// incastCell wraps runIncastStar as a grid cell; the variant, seed and audit flag
 // arrive through the resolved RunConfig.
-func incastCell(v Variant, flowsN int) func(rc RunConfig) *Result {
+func incastCell(flowsN int) func(rc RunConfig) *Result {
 	return func(rc RunConfig) *Result {
-		ir, events, sched, rec := runIncastStar(v, flowsN, rc.Seed, rc.Audit)
+		ir, events, sched, rec := runIncastStar(rc.Variant, flowsN, rc.Seed, rc.Audit)
 		return &Result{Rec: rec, EventsRun: events, Sched: sched, App: ir}
 	}
 }
@@ -271,9 +276,10 @@ func Fig14CDF(scale Scale) *Report {
 	sw := newSweep(rep)
 	for _, v := range variants {
 		rc := RunConfig{
-			Label:  v.Name() + " fig14c",
-			Seed:   1,
-			Custom: incastCell(v, 100),
+			Label:   v.Name() + " fig14c",
+			Seed:    1,
+			Variant: v,
+			Custom:  incastCell(100),
 		}
 		sw.cell(rc, func(res *Result) {
 			ir := res.App.(*incastResult)

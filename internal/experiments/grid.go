@@ -67,6 +67,28 @@ func Shards() int {
 	return sessionShards
 }
 
+// sessionMMU/sessionFC are the session default switch MMU and
+// flow-control policy names (the -mmu / -fc flags); "" keeps each
+// variant's own setting. Guarded by procsMu like the other session
+// defaults.
+var sessionMMU, sessionFC string
+
+// SetPolicies sets the session default buffer policy and flow control
+// for subsequent grids. Either may be "" to leave variants untouched.
+// Like SetProcs, call before runs start.
+func SetPolicies(mmuName, fcName string) {
+	procsMu.Lock()
+	sessionMMU, sessionFC = mmuName, fcName
+	procsMu.Unlock()
+}
+
+// Policies returns the session default MMU and flow-control names.
+func Policies() (mmuName, fcName string) {
+	procsMu.Lock()
+	defer procsMu.Unlock()
+	return sessionMMU, sessionFC
+}
+
 func sharedSem() chan struct{} {
 	procsMu.Lock()
 	defer procsMu.Unlock()
@@ -97,6 +119,7 @@ func RunGrid(cells []RunConfig, opts GridOpts) []*Result {
 		sem = make(chan struct{}, opts.Procs)
 	}
 	hp, ha := harnessSettings()
+	smmu, sfc := Policies()
 	results := make([]*Result, len(cells))
 	var wg sync.WaitGroup
 	for i := range cells {
@@ -109,6 +132,14 @@ func RunGrid(cells []RunConfig, opts GridOpts) []*Result {
 		}
 		if rc.Shards == 0 {
 			rc.Shards = Shards()
+		}
+		// Session policy overrides (-mmu / -fc) apply to cells whose
+		// variant doesn't pin its own, mirroring the fault/audit fold.
+		if rc.Variant.MMU == "" {
+			rc.Variant.MMU = smmu
+		}
+		if rc.Variant.FC == "" {
+			rc.Variant.FC = sfc
 		}
 		wg.Add(1)
 		go func(i int, rc RunConfig) {

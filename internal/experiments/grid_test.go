@@ -111,7 +111,7 @@ func TestGridReportsDeterministicAcrossProcs(t *testing.T) {
 		t.Skip("slow")
 	}
 	scale := Scale{BgFlows: 30, Seeds: 2, AppPoints: 2}
-	for _, id := range []string{"fig5", "chaos-recovery", "failure-recovery"} {
+	for _, id := range []string{"fig5", "chaos-recovery", "failure-recovery", "ablation-buffer"} {
 		serial := renderAt(t, id, scale, 1)
 		par1 := renderAt(t, id, scale, 8)
 		par2 := renderAt(t, id, scale, 8)

@@ -30,6 +30,7 @@ var All = []Entry{
 	{"dumbbell", "mixed traffic with PFC on a dumbbell (§7.4)", Dumbbell},
 	{"ablation-n", "periodic marking interval N (§5.2 footnote)", AblationPeriodN},
 	{"ablation-alpha", "dynamic threshold alpha (§4.2)", AblationAlpha},
+	{"ablation-buffer", "buffer policy × buffer size (pluggable MMU)", AblationBuffer},
 	{"chaos-recovery", "FCT degradation under link flaps (graceful degradation)", ChaosRecovery},
 	{"failure-recovery", "switch failure + pause storm: reroute, watchdog, abort", FailureRecovery},
 }

@@ -10,6 +10,7 @@ import (
 	"tlt/internal/chaos"
 	"tlt/internal/core"
 	"tlt/internal/fabric"
+	_ "tlt/internal/fabric/mmu" // register bshare/tiny/bfc policies
 	"tlt/internal/sim"
 	"tlt/internal/stats"
 	"tlt/internal/topo"
@@ -41,6 +42,10 @@ type RunConfig struct {
 
 	// AlphaOverride replaces the dynamic-threshold parameter (ablation).
 	AlphaOverride float64
+	// BufferOverride replaces the switch shared-buffer size in bytes
+	// (buffer-policy ablation). PFC XOFF/XON thresholds are re-derived
+	// from the new size when PFC is on.
+	BufferOverride int64
 
 	CollectDelivery bool
 	CollectRTT      bool
@@ -215,6 +220,13 @@ func Run(rc RunConfig) *Result {
 	lsCfg.Switch = v.switchConfig()
 	if rc.AlphaOverride > 0 {
 		lsCfg.Switch.Alpha = rc.AlphaOverride
+	}
+	if rc.BufferOverride > 0 {
+		lsCfg.Switch.BufferBytes = rc.BufferOverride
+		if lsCfg.Switch.PFC {
+			lsCfg.Switch.XOff = lsCfg.Switch.BufferBytes / (2 * 12)
+			lsCfg.Switch.XOn = lsCfg.Switch.XOff - 2*int64(transport.MSS+48)
+		}
 	}
 	if rc.WatchdogThreshold > 0 {
 		lsCfg.Switch.PFCWatchdog = true

@@ -24,16 +24,18 @@ func renderSharded(t *testing.T, id string, scale Scale, procs, shards int) stri
 // the fabric sharded across four event loops must be byte-identical to
 // the single-shard one, under both a serial grid and an oversubscribed
 // parallel grid (cells and shard workers competing for the same slots).
-// The three experiments cover clean congestion (fig5), randomized link
-// flaps and GE loss (chaos-recovery), and switch kills with reroute plus
+// The experiments cover clean congestion (fig5), randomized link
+// flaps and GE loss (chaos-recovery), switch kills with reroute plus
 // pause storms (failure-recovery) — every cross-shard mutation path the
-// chaos engine has.
+// chaos engine has — and the non-default MMU/flow-control strategies
+// (ablation-buffer: bshare thresholds, tiny-buffer capacity, BFC
+// pause targeting all run inside sharded fabrics).
 func TestGridReportsDeterministicAcrossShards(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
 	scale := Scale{BgFlows: 30, Seeds: 2, AppPoints: 2}
-	for _, id := range []string{"fig5", "chaos-recovery", "failure-recovery"} {
+	for _, id := range []string{"fig5", "chaos-recovery", "failure-recovery", "ablation-buffer"} {
 		base := renderSharded(t, id, scale, 1, 1)
 		for _, cfg := range [][2]int{{1, 4}, {8, 1}, {8, 4}} {
 			got := renderSharded(t, id, scale, cfg[0], cfg[1])

@@ -36,6 +36,12 @@ type Variant struct {
 	// (TCP: 12, RoCE: no backoff). See transport.RTOConfig.
 	MaxRetries      int
 	MaxBackoffShift uint
+
+	// MMU selects the switch buffer policy by registered name ("" → the
+	// built-in Choudhury–Hahne + color default). FC selects flow control
+	// ("" keeps the legacy PFC-flag meaning). See fabric.SwitchConfig.
+	MMU string
+	FC  string
 }
 
 // IsRoCE reports whether the variant uses the RoCE fabric (1 µs links).
@@ -73,6 +79,12 @@ func (v Variant) Name() string {
 	}
 	if v.MaxRetries > 0 {
 		n += fmt.Sprintf("+retry%d", v.MaxRetries)
+	}
+	if v.MMU != "" {
+		n += "+mmu=" + v.MMU
+	}
+	if v.FC != "" {
+		n += "+fc=" + v.FC
 	}
 	return n
 }
@@ -124,6 +136,10 @@ func (v Variant) switchConfig() fabric.SwitchConfig {
 	}
 	if v.PFC {
 		sc.PFC = true
+	}
+	sc.MMU = v.MMU
+	sc.FC = v.FC
+	if v.PFC || v.FC == "pfc" {
 		// Static per-ingress XOFF sized so all ports can hit XOFF and
 		// in-flight headroom still fits the shared buffer.
 		sc.XOff = sc.BufferBytes / (2 * 12)

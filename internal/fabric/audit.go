@@ -12,6 +12,7 @@ const (
 	DropReasonColor                        // color-aware threshold (red only)
 	DropReasonWatchdog                     // PFC watchdog drop-and-unpause flush
 	DropReasonSwitchFail                   // MMU contents lost to a switch failure
+	DropReasonPolicy                       // non-default BufferPolicy threshold (e.g. BShare)
 )
 
 // String returns a short reason name for dump output.
@@ -27,6 +28,8 @@ func (r DropReason) String() string {
 		return "pfc-watchdog"
 	case DropReasonSwitchFail:
 		return "switch-fail"
+	case DropReasonPolicy:
+		return "buffer-policy"
 	}
 	return "?"
 }

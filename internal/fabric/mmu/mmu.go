@@ -1,0 +1,28 @@
+// Package mmu provides competitor MMU strategies for the pluggable
+// switch buffer-management boundary in internal/fabric:
+//
+//   - "bshare": queueing-delay-driven buffer sharing. The dynamic
+//     threshold decays geometrically as a queue's drain time exceeds a
+//     delay target, so slow-draining (congested or paused) queues get
+//     squeezed out of the shared pool instead of monopolizing it.
+//   - "tiny": the tiny-buffer regime — the Choudhury–Hahne + color
+//     admission logic unchanged, but over a shared buffer ~10× smaller
+//     than the physical one (SwitchConfig.MMUDiv).
+//   - "bfc": per-hop Backpressure Flow Control — instead of PFC's
+//     per-ingress-port accounting, pausing is driven by per-(egress,
+//     class) queue depth and targets only the ingress ports actually
+//     contributing to the hot queue, avoiding PFC's head-of-line
+//     victims.
+//
+// Import for side effects (registration):
+//
+//	import _ "tlt/internal/fabric/mmu"
+package mmu
+
+import "tlt/internal/fabric"
+
+func init() {
+	fabric.RegisterBufferPolicy("bshare", newBShare)
+	fabric.RegisterBufferPolicy("tiny", newTiny)
+	fabric.RegisterFlowControl("bfc", newBFC)
+}

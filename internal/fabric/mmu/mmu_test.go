@@ -1,0 +1,241 @@
+package mmu_test
+
+import (
+	"testing"
+
+	"tlt/internal/fabric"
+	_ "tlt/internal/fabric/mmu"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+	"tlt/internal/topo"
+)
+
+// star builds n hosts around one switch, host i on port i, with routes
+// installed both ways.
+func star(t *testing.T, cfg fabric.SwitchConfig, n int) (*sim.Sim, []*fabric.Host, *fabric.Switch) {
+	t.Helper()
+	s := sim.New()
+	cfg.Ports = n
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	sw := fabric.NewSwitch(s, 100, sim.NewRNG(1), cfg)
+	hs := make([]*fabric.Host, n)
+	for i := range hs {
+		hs[i] = fabric.NewHost(s, packet.NodeID(i))
+		fabric.Connect(s, hs[i], 0, sw, i, 40e9, sim.Microsecond)
+		sw.SetRoute(packet.NodeID(i), []int{i})
+	}
+	return s, hs, sw
+}
+
+func pkt(flow packet.FlowID, dst packet.NodeID, mark packet.Mark) *packet.Packet {
+	return &packet.Packet{Flow: flow, Dst: dst, Type: packet.Data, Len: 1000, Mark: mark}
+}
+
+// flood sends n red packets from h toward dst.
+func flood(h *fabric.Host, dst packet.NodeID, n int) {
+	for i := 0; i < n; i++ {
+		h.Send(pkt(packet.FlowID(h.ID()+1), dst, packet.Unimportant))
+	}
+}
+
+// The tiny-buffer regime admits against BufferBytes/MMUDiv, and chaos
+// shrinks compose with the reduced capacity, not the physical one.
+func TestTinyCapacityAndShrink(t *testing.T) {
+	_, _, sw := star(t, fabric.SwitchConfig{BufferBytes: 100_000, MMU: "tiny"}, 2)
+	if got := sw.BufferLimit(); got != 10_000 {
+		t.Fatalf("tiny BufferLimit = %d, want 10000", got)
+	}
+	sw.ShrinkBuffer(0.5)
+	if got := sw.BufferLimit(); got != 5_000 {
+		t.Fatalf("shrunk tiny BufferLimit = %d, want 5000", got)
+	}
+	sw.ShrinkBuffer(0)
+	if got := sw.BufferLimit(); got != 10_000 {
+		t.Fatalf("restored tiny BufferLimit = %d, want 10000", got)
+	}
+
+	_, _, sw = star(t, fabric.SwitchConfig{BufferBytes: 100_000, MMU: "tiny", MMUDiv: 4}, 2)
+	if got := sw.BufferLimit(); got != 25_000 {
+		t.Fatalf("tiny(div=4) BufferLimit = %d, want 25000", got)
+	}
+}
+
+// Under the same congestion the tiny policy must cap the queue an order
+// of magnitude below the default, while keeping the same drop taxonomy
+// (dynamic-threshold drops — it IS the C–H policy, just smaller).
+func TestTinyDropsEarlier(t *testing.T) {
+	congest := func(mmuName string) *fabric.Switch {
+		s, hs, sw := star(t, fabric.SwitchConfig{BufferBytes: 100_000, MMU: mmuName}, 2)
+		sw.Tx(1).Pause()
+		flood(hs[0], 1, 200)
+		s.RunAll()
+		return sw
+	}
+	ch := congest("")
+	tiny := congest("tiny")
+	if tiny.Ctr.DropDynamic == 0 {
+		t.Fatal("tiny: expected dynamic-threshold drops")
+	}
+	if chQ, tinyQ := ch.MaxQueueBytes(1), tiny.MaxQueueBytes(1); tinyQ*5 > chQ {
+		t.Fatalf("tiny queue %d not ≪ default queue %d", tinyQ, chQ)
+	}
+}
+
+// BShare squeezes slow-draining queues: with the drain-delay decay the
+// equilibrium queue must sit below plain Choudhury–Hahne's, and its
+// threshold drops must be counted as policy drops, not dynamic drops.
+func TestBShareSqueezesSlowQueue(t *testing.T) {
+	congest := func(mmuName string) *fabric.Switch {
+		s, hs, sw := star(t, fabric.SwitchConfig{BufferBytes: 100_000, MMU: mmuName}, 2)
+		sw.Tx(1).Pause()
+		flood(hs[0], 1, 200)
+		s.RunAll()
+		return sw
+	}
+	ch := congest("")
+	bs := congest("bshare")
+	if bs.Ctr.DropPolicy == 0 {
+		t.Fatal("bshare: expected policy drops")
+	}
+	if bs.Ctr.DropDynamic != 0 {
+		t.Fatalf("bshare issued %d dynamic drops; its threshold drops must be DropPolicy", bs.Ctr.DropDynamic)
+	}
+	if chQ, bsQ := ch.MaxQueueBytes(1), bs.MaxQueueBytes(1); bsQ >= chQ {
+		t.Fatalf("bshare queue %d not below C–H queue %d", bsQ, chQ)
+	}
+	if bs.Ctr.TotalDrops() == 0 {
+		t.Fatal("bshare drops missing from TotalDrops")
+	}
+}
+
+// BShare keeps the TLT protection guarantee: green packets ride over
+// the decayed threshold exactly as over the C–H one.
+func TestBShareProtectsGreen(t *testing.T) {
+	s, hs, sw := star(t, fabric.SwitchConfig{
+		BufferBytes: 100_000, MMU: "bshare", ColorThreshold: 10_000,
+	}, 2)
+	sw.Tx(1).Pause()
+	flood(hs[0], 1, 100)
+	for i := 0; i < 10; i++ {
+		hs[0].Send(pkt(1, 1, packet.ImportantData))
+	}
+	s.RunAll()
+	if sw.Ctr.DropGreen != 0 {
+		t.Fatalf("bshare dropped %d green packets", sw.Ctr.DropGreen)
+	}
+	if sw.Ctr.DropRedColor == 0 {
+		t.Fatal("bshare: color threshold inactive")
+	}
+}
+
+// BFC pauses only the ingress ports feeding the hot queue: a bystander
+// sending nothing toward the congested egress keeps its NIC running.
+func TestBFCPausesOnlyContributors(t *testing.T) {
+	s, hs, sw := star(t, fabric.SwitchConfig{BufferBytes: 160_000, FC: "bfc"}, 3)
+	sw.Tx(2).Pause() // hot egress: host 2
+	flood(hs[0], 2, 100)
+	s.RunAll()
+	if !hs[0].NICTx().Paused() {
+		t.Fatal("contributing ingress not paused")
+	}
+	if hs[1].NICTx().Paused() {
+		t.Fatal("bystander ingress paused (PFC-style head-of-line victim)")
+	}
+	if sw.Ctr.PauseFrames == 0 {
+		t.Fatal("no pause frames emitted")
+	}
+	// Lossless: no threshold drops while the queue holds under XOFF+RTT.
+	if sw.Ctr.DropDynamic != 0 || sw.Ctr.DropPolicy != 0 {
+		t.Fatalf("bfc run issued threshold drops: dyn=%d pol=%d",
+			sw.Ctr.DropDynamic, sw.Ctr.DropPolicy)
+	}
+	// Draining the hot queue below XON must release the pause.
+	sw.Tx(2).Resume()
+	s.RunAll()
+	if hs[0].NICTx().Paused() {
+		t.Fatal("contributor still paused after drain")
+	}
+	if sw.Ctr.ResumeFrames == 0 {
+		t.Fatal("no resume frames emitted")
+	}
+}
+
+// The PFC watchdog must coexist with BFC: both react to pause state,
+// and a congested BFC switch with the watchdog armed must neither
+// panic nor fire spuriously when its pauses resolve by draining.
+func TestBFCUnderWatchdog(t *testing.T) {
+	s, hs, sw := star(t, fabric.SwitchConfig{
+		BufferBytes:       160_000,
+		FC:                "bfc",
+		PFCWatchdog:       true,
+		WatchdogThreshold: 500 * sim.Microsecond,
+	}, 3)
+	sw.Tx(2).Pause()
+	flood(hs[0], 2, 100)
+	s.RunAll()
+	sw.Tx(2).Resume()
+	s.RunAll()
+	if sw.Ctr.WatchdogFires != 0 {
+		t.Fatalf("watchdog fired %d times on a drained BFC switch", sw.Ctr.WatchdogFires)
+	}
+}
+
+// Reboot resets BFC's contribution and pause-claim state: without the
+// reset, stale claims would suppress the pause a fresh congestion
+// event must emit.
+func TestBFCRebootResetsState(t *testing.T) {
+	s, hs, sw := star(t, fabric.SwitchConfig{BufferBytes: 160_000, FC: "bfc"}, 3)
+	sw.Tx(2).Pause()
+	flood(hs[0], 2, 100)
+	s.RunAll()
+	if sw.Ctr.PauseFrames != 1 {
+		t.Fatalf("setup: PauseFrames = %d, want 1", sw.Ctr.PauseFrames)
+	}
+	sw.Fail()
+	sw.Reboot()
+	// The reboot does not resume peers (that state died with the
+	// switch); model the host NIC's own pause timeout expiring.
+	hs[0].NICTx().Resume()
+	sw.Tx(2).Pause()
+	flood(hs[0], 2, 100)
+	s.RunAll()
+	if sw.Ctr.PauseFrames != 2 {
+		t.Fatalf("post-reboot congestion emitted %d pause frames total, want 2 (stale claim suppressed the new pause?)",
+			sw.Ctr.PauseFrames)
+	}
+	if !hs[0].NICTx().Paused() {
+		t.Fatal("contributor not re-paused after reboot")
+	}
+}
+
+// PerSwitch gives individual switches their own policies: tiny-buffer
+// ToRs under default spines.
+func TestLeafSpinePerSwitchPolicies(t *testing.T) {
+	cfg := topo.DefaultLeafSpine(sim.Microsecond)
+	cfg.Spines, cfg.Tors, cfg.HostsPerTor = 2, 2, 2
+	cfg.LinkRateBps = 40e9
+	cfg.PerSwitch = func(i int, spine bool, sc *fabric.SwitchConfig) {
+		if !spine {
+			sc.MMU = "tiny"
+		}
+	}
+	net := topo.LeafSpine(sim.New(), cfg)
+	for i, sw := range net.Switches {
+		want := "tiny"
+		if i >= cfg.Tors {
+			want = "ch"
+		}
+		if got := sw.PolicyName(); got != want {
+			t.Fatalf("switch %d policy = %q, want %q", i, got, want)
+		}
+	}
+	// The tiny ToRs really run the reduced capacity.
+	if got := net.Switches[0].BufferLimit(); got != 450_000 {
+		t.Fatalf("tiny ToR BufferLimit = %d, want 450000", got)
+	}
+	if got := net.Switches[cfg.Tors].BufferLimit(); got != 4_500_000 {
+		t.Fatalf("default spine BufferLimit = %d, want 4500000", got)
+	}
+}

@@ -1,0 +1,21 @@
+package mmu
+
+import "tlt/internal/fabric"
+
+// newTiny builds the tiny-buffer regime: the default Choudhury–Hahne +
+// color-threshold admission logic, unchanged, over a shared buffer
+// BufferBytes/MMUDiv (default divisor 10). It exists to measure how the
+// paper's loss-protection story holds up when the switch has an order
+// of magnitude less buffering to protect green packets with — shallow
+// commodity buffers are the regime TLT claims to tolerate.
+//
+// Implementation is pure reuse: fabric.NewCHPolicy with a reduced
+// capacity. Chaos shrink faults compose multiplicatively (Shrink
+// applies its fraction to the tiny capacity, not the physical one).
+func newTiny(cfg fabric.SwitchConfig) fabric.BufferPolicy {
+	div := cfg.MMUDiv
+	if div <= 1 {
+		div = 10
+	}
+	return fabric.NewCHPolicy("tiny", cfg, int64(float64(cfg.BufferBytes)/div))
+}

@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+// The color threshold historically governs only class 0 (§5.3:
+// incremental deployment reserves one class for TLT semantics);
+// ColorAllClasses extends it fleet-wide. Both behaviors live in the
+// extracted default policy now, so pin them.
+func TestColorThresholdClassScope(t *testing.T) {
+	run := func(all bool) *Switch {
+		s, h, sw, _ := oneSwitch(t, SwitchConfig{
+			BufferBytes:     1 << 20,
+			ColorThreshold:  10_000,
+			TrafficClasses:  2,
+			ColorAllClasses: all,
+		})
+		sw.Tx(1).Pause()
+		for i := 0; i < 30; i++ {
+			p := data(1, 1, 1000, packet.Unimportant)
+			p.TC = 1
+			h.Send(p)
+		}
+		s.RunAll()
+		return sw
+	}
+	if sw := run(false); sw.Ctr.DropRedColor != 0 {
+		t.Fatalf("class-1 red dropped by color threshold with ColorAllClasses off: %d",
+			sw.Ctr.DropRedColor)
+	}
+	sw := run(true)
+	if sw.Ctr.DropRedColor == 0 {
+		t.Fatal("ColorAllClasses: expected class-1 red color drops")
+	}
+	if red := sw.MaxRedQueueBytes(1); red > 10_000+1048 {
+		t.Fatalf("class-1 red queue reached %d, exceeds K", red)
+	}
+}
+
+// An unregistered policy name is a configuration bug; NewSwitch must
+// fail loudly at build time, naming the registered alternatives.
+func TestUnknownPolicyNamePanics(t *testing.T) {
+	expectPanic := func(cfg SwitchConfig, want string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("NewSwitch with %+v did not panic", cfg)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("panic %v does not mention %q", r, want)
+			}
+		}()
+		cfg.Ports = 2
+		cfg.BufferBytes = 1 << 20
+		NewSwitch(sim.New(), 1, sim.NewRNG(1), cfg)
+	}
+	expectPanic(SwitchConfig{MMU: "bogus"}, "unknown buffer policy")
+	expectPanic(SwitchConfig{FC: "bogus"}, "unknown flow control")
+}
+
+// FC "none" must beat the legacy PFC flag, and the PFC watchdog — which
+// reacts to *received* pause frames — must be armed but inert when the
+// local policy never emits or receives any.
+func TestWatchdogInertWithoutFlowControl(t *testing.T) {
+	s, h, sw, k := oneSwitch(t, SwitchConfig{
+		BufferBytes:       100_000,
+		PFC:               true, // overridden by FC below
+		FC:                "none",
+		PFCWatchdog:       true,
+		WatchdogThreshold: 50 * sim.Microsecond,
+	})
+	if sw.FCName() != "none" || sw.Lossless() {
+		t.Fatalf("FC=none not honored: fc=%s lossless=%v", sw.FCName(), sw.Lossless())
+	}
+	sw.Tx(1).Pause()
+	for i := 0; i < 200; i++ {
+		h.Send(data(1, 1, 1000, packet.Unimportant))
+	}
+	s.RunAll()
+	// Lossy operation: the dynamic threshold drops instead of pausing.
+	if sw.Ctr.PauseFrames != 0 {
+		t.Fatalf("pause frames emitted with no flow control: %d", sw.Ctr.PauseFrames)
+	}
+	if sw.Ctr.DropDynamic == 0 {
+		t.Fatal("expected dynamic-threshold drops in lossy mode")
+	}
+	if sw.Ctr.WatchdogFires != 0 {
+		t.Fatalf("watchdog fired without any received pauses: %d", sw.Ctr.WatchdogFires)
+	}
+	sw.Tx(1).Resume()
+	s.RunAll()
+	if len(k.got) == 0 {
+		t.Fatal("nothing delivered after resume")
+	}
+}
+
+// A chaos buffer shrink must survive a switch reboot: the fault window
+// belongs to the chaos schedule, and only its restore event (or an
+// explicit ShrinkBuffer(0)) may lift it.
+func TestShrinkSurvivesReboot(t *testing.T) {
+	_, _, sw, _ := oneSwitch(t, SwitchConfig{BufferBytes: 100_000})
+	sw.ShrinkBuffer(0.5)
+	if got := sw.BufferLimit(); got != 50_000 {
+		t.Fatalf("BufferLimit = %d, want 50000", got)
+	}
+	sw.Fail()
+	sw.Reboot()
+	if got := sw.BufferLimit(); got != 50_000 {
+		t.Fatalf("reboot lifted the chaos shrink: BufferLimit = %d, want 50000", got)
+	}
+	sw.ShrinkBuffer(0)
+	if got := sw.BufferLimit(); got != 100_000 {
+		t.Fatalf("restore failed: BufferLimit = %d, want 100000", got)
+	}
+}

@@ -35,9 +35,40 @@ type SwitchConfig struct {
 	// ColorThreshold is the color-aware dropping threshold K: a red
 	// (unimportant) packet is dropped when the target egress queue
 	// already holds at least K bytes. Zero disables color-aware dropping
-	// (non-TLT operation). With multiple traffic classes, the threshold
-	// applies only to class 0 (the TLT queue).
+	// (non-TLT operation).
+	//
+	// Class restriction: with multiple traffic classes, the threshold by
+	// default applies ONLY to class 0 — the dedicated TLT queue of the
+	// paper's incremental-deployment mode (§5.3), where legacy traffic
+	// rides other classes without color semantics. Red packets on
+	// classes ≥ 1 therefore bypass the color check entirely. Set
+	// ColorAllClasses to extend the threshold to every class (full-
+	// deployment operation where all queues carry colored traffic).
 	ColorThreshold int64
+	// ColorAllClasses applies ColorThreshold to every traffic class
+	// instead of class 0 only. See ColorThreshold.
+	ColorAllClasses bool
+
+	// MMU selects the shared-buffer admission policy by registered name.
+	// "" and "ch" are the built-in Choudhury–Hahne dynamic threshold +
+	// TLT color dropping; internal/fabric/mmu registers "bshare"
+	// (queueing-delay-driven sharing) and "tiny" (shallow-buffer
+	// regime). Unknown names panic at switch construction.
+	MMU string
+	// FC selects the flow-control policy: "" keeps the legacy meaning of
+	// the PFC flag (PFC iff PFC is set), "pfc" forces PFC, "none"
+	// disables flow control even with PFC set, and internal/fabric/mmu
+	// registers "bfc" (per-hop backpressure). Unknown names panic.
+	FC string
+	// MMUDiv is the tiny-buffer policy's capacity divisor: the effective
+	// shared buffer is BufferBytes/MMUDiv (0 → 10).
+	MMUDiv float64
+	// MMUTargetDelay is BShare's per-queue queueing-delay target (0 →
+	// 10 µs): queues whose estimated drain delay exceeds it get their
+	// dynamic threshold scaled down by MMUGamma per target multiple.
+	MMUTargetDelay sim.Time
+	// MMUGamma is BShare's threshold decay base, in (0, 1) (0 → 0.5).
+	MMUGamma float64
 
 	ECN  ECNMode
 	KEcn int64 // step threshold
@@ -80,6 +111,7 @@ type Counters struct {
 	DropRedColor   int64 // red dropped by color-aware threshold
 	DropDynamic    int64 // dropped by dynamic shared-buffer threshold
 	DropBufferFull int64 // dropped because the physical buffer was full
+	DropPolicy     int64 // dropped by a non-default BufferPolicy threshold
 	DropGreen      int64 // subset of the above that were green (important)
 	EnqGreen       int64
 	EnqRed         int64
@@ -98,6 +130,7 @@ func (c *Counters) Add(o *Counters) {
 	c.DropRedColor += o.DropRedColor
 	c.DropDynamic += o.DropDynamic
 	c.DropBufferFull += o.DropBufferFull
+	c.DropPolicy += o.DropPolicy
 	c.DropGreen += o.DropGreen
 	c.EnqGreen += o.EnqGreen
 	c.EnqRed += o.EnqRed
@@ -112,7 +145,7 @@ func (c *Counters) Add(o *Counters) {
 
 // TotalDrops returns all drops regardless of cause.
 func (c *Counters) TotalDrops() int64 {
-	return c.DropRedColor + c.DropDynamic + c.DropBufferFull
+	return c.DropRedColor + c.DropDynamic + c.DropBufferFull + c.DropPolicy
 }
 
 // swQueue is one egress FIFO (one traffic class of one port).
@@ -167,15 +200,15 @@ func (q *swQueue) popFront() (*packet.Packet, int64) {
 	return pkt, sz
 }
 
-// swPort is one egress port: a set of class queues behind a transmitter,
-// plus PFC ingress accounting for the port in its ingress role.
+// swPort is one egress port: a set of class queues behind a transmitter.
+// Ingress-side flow-control accounting (PFC's per-port byte counters,
+// BFC's per-queue contributions) lives in the switch's FlowControl
+// policy; only the watchdog state stays here because the watchdog
+// reacts to received pauses regardless of the local policy.
 type swPort struct {
 	tx *Tx
 	qs []swQueue
 	rr int // round-robin pointer over classes
-
-	ingressBytes int64 // bytes buffered that arrived via this port (PFC)
-	sentXOff     bool
 
 	wdPending     bool     // a watchdog check event is outstanding
 	wdIgnoreUntil sim.Time // PAUSE frames ignored until then (mitigation)
@@ -204,12 +237,22 @@ type Switch struct {
 	// Reboot.
 	failed bool
 
-	// bufLimit is the effective shared-buffer capacity used for
-	// admission. It normally equals cfg.BufferBytes; chaos fault
-	// injection can shrink it for a window (an MMU reconfiguration or
-	// partial memory failure). Already-buffered bytes above a shrunken
-	// limit drain normally; only admission is affected.
+	// bufLimit caches policy.Capacity(): the effective shared-buffer
+	// capacity used for admission. It normally equals the policy's
+	// configured capacity (cfg.BufferBytes for the default policy);
+	// chaos fault injection can shrink it for a window via ShrinkBuffer
+	// (an MMU reconfiguration or partial memory failure). Already-
+	// buffered bytes above a shrunken limit drain normally; only
+	// admission is affected.
 	bufLimit int64
+
+	// policy is the admission strategy (cfg.MMU) and fc the pause/
+	// resume strategy (cfg.FC / cfg.PFC), both bound at construction.
+	// fc is nil when flow control is off — the common lossy case pays
+	// only a nil check per packet. lossless caches fc.Lossless().
+	policy   BufferPolicy
+	fc       FlowControl
+	lossless bool
 
 	// routes maps destination host ID to the candidate egress ports
 	// (ECMP group), indexed densely by NodeID. Set by the topology
@@ -233,11 +276,21 @@ func NewSwitch(s *sim.Sim, id packet.NodeID, rng *sim.RNG, cfg SwitchConfig) *Sw
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 1
 	}
-	sw := &Switch{id: id, sim: s, rng: rng, cfg: cfg, bufLimit: cfg.BufferBytes}
+	sw := &Switch{id: id, sim: s, rng: rng, cfg: cfg}
 	sw.ports = make([]*swPort, cfg.Ports)
 	for i := range sw.ports {
 		sw.ports[i] = &swPort{qs: make([]swQueue, cfg.classes())}
 	}
+	// Flow control binds first so the buffer policy can capture whether
+	// the fabric is lossless (dynamic thresholds disabled under PFC).
+	sw.fc = newFlowControl(cfg)
+	if sw.fc != nil {
+		sw.fc.Bind(sw)
+		sw.lossless = sw.fc.Lossless()
+	}
+	sw.policy = newBufferPolicy(cfg)
+	sw.policy.Bind(sw)
+	sw.bufLimit = sw.policy.Capacity()
 	return sw
 }
 
@@ -273,15 +326,37 @@ func (sw *Switch) BufferUsed() int64 { return sw.used }
 // BufferLimit returns the effective admission capacity in bytes.
 func (sw *Switch) BufferLimit() int64 { return sw.bufLimit }
 
-// SetBufferLimit shrinks (or restores) the effective shared-buffer
-// capacity used for admission. n <= 0 restores the configured capacity.
-// The limit may not exceed the physical buffer.
-func (sw *Switch) SetBufferLimit(n int64) {
-	if n <= 0 || n > sw.cfg.BufferBytes {
-		n = sw.cfg.BufferBytes
-	}
-	sw.bufLimit = n
+// ShrinkBuffer caps the effective admission capacity to frac of the
+// installed buffer policy's configured capacity — the chaos engine's
+// MMU-reconfiguration fault. frac outside (0, 1) restores the full
+// capacity. Routing the shrink through the policy (rather than a raw
+// byte limit) means a shallow-capacity policy like the tiny-buffer
+// regime shrinks proportionally to its own capacity, and legacy and
+// resolved-mode chaos agree by construction.
+func (sw *Switch) ShrinkBuffer(frac float64) {
+	sw.policy.Shrink(frac)
+	sw.bufLimit = sw.policy.Capacity()
 }
+
+// Policy returns the installed buffer policy (the runtime auditor
+// validates drop justifications against its view).
+func (sw *Switch) Policy() BufferPolicy { return sw.policy }
+
+// PolicyName returns the installed buffer policy's registered name.
+func (sw *Switch) PolicyName() string { return sw.policy.Name() }
+
+// FCName returns the installed flow-control policy's name ("none" when
+// flow control is off).
+func (sw *Switch) FCName() string {
+	if sw.fc == nil {
+		return "none"
+	}
+	return sw.fc.Name()
+}
+
+// Lossless reports whether the installed flow control claims lossless
+// operation (admission suppresses threshold drops).
+func (sw *Switch) Lossless() bool { return sw.lossless }
 
 // SkewUsedForTest corrupts the MMU occupancy counter by delta bytes.
 // Test-only: it exists so internal/audit can prove the runtime auditor
@@ -415,31 +490,22 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 	free := sw.bufLimit - sw.used
 	green := pkt.Mark.Color() == packet.Green
 
-	// Admission control. Rejected packets die here: once the audit hook
-	// has seen them they go back to the free list.
-	switch {
-	case free < size:
-		sw.drop(pkt, &sw.Ctr.DropBufferFull)
-		if sw.Audit != nil {
-			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonBufferFull, q.bytes, free)
+	// Admission control, delegated to the bound BufferPolicy. Rejected
+	// packets die here: once the audit hook has seen them they go back
+	// to the free list.
+	if reason, ok := sw.policy.Admit(egress, tc, q.bytes, free, size, green); !ok {
+		switch reason {
+		case DropReasonBufferFull:
+			sw.drop(pkt, &sw.Ctr.DropBufferFull)
+		case DropReasonColor:
+			sw.Ctr.DropRedColor++
+		case DropReasonDynamic:
+			sw.drop(pkt, &sw.Ctr.DropDynamic)
+		default:
+			sw.drop(pkt, &sw.Ctr.DropPolicy)
 		}
-		sw.recycle(pkt)
-		return
-	case tc == 0 && sw.cfg.ColorThreshold > 0 && !green && q.bytes >= sw.cfg.ColorThreshold:
-		// Color-aware dropping: the red class may not grow the queue
-		// past K. Green packets pass and use the headroom.
-		sw.Ctr.DropRedColor++
 		if sw.Audit != nil {
-			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonColor, q.bytes, free)
-		}
-		sw.recycle(pkt)
-		return
-	case !sw.cfg.PFC && float64(q.bytes)+float64(size) > sw.cfg.Alpha*float64(free):
-		// Dynamic shared-buffer threshold (lossy operation only; the
-		// lossless class relies on PFC instead of dropping).
-		sw.drop(pkt, &sw.Ctr.DropDynamic)
-		if sw.Audit != nil {
-			sw.Audit.OnDrop(sw, egress, tc, pkt, DropReasonDynamic, q.bytes, free)
+			sw.Audit.OnDrop(sw, egress, tc, pkt, reason, q.bytes, free)
 		}
 		sw.recycle(pkt)
 		return
@@ -484,22 +550,10 @@ func (sw *Switch) enqueue(pkt *packet.Packet, inPort, egress int) {
 		sw.Audit.OnEnqueue(sw, egress, tc, pkt)
 	}
 
-	// PFC ingress accounting: pause the upstream transmitter when this
-	// ingress port's buffered bytes exceed XOFF.
-	if sw.cfg.PFC {
-		in := sw.ports[inPort]
-		in.ingressBytes += size
-		if !in.sentXOff && in.ingressBytes > sw.cfg.XOff {
-			in.sentXOff = true
-			sw.Ctr.PauseFrames++
-			if sw.Audit != nil {
-				sw.Audit.OnPFC(sw, inPort, true)
-			}
-			pf := sw.newControl()
-			pf.Type = packet.Pause
-			pf.Src = sw.id
-			in.tx.DeliverControl(pf)
-		}
+	// Flow-control ingress accounting (PFC XOFF thresholds, BFC per-hop
+	// queue backpressure): the policy may pause upstream transmitters.
+	if sw.fc != nil {
+		sw.fc.OnEnqueue(inPort, egress, tc, size)
 	}
 
 	p.tx.Kick()
@@ -535,29 +589,10 @@ func (sw *Switch) dequeue(port int) (*packet.Packet, int) {
 		sw.Audit.OnDequeue(sw, port, tc, pkt)
 	}
 
-	if sw.cfg.PFC {
-		sw.creditIngress(pkt.EnqIngress, size)
+	if sw.fc != nil {
+		sw.fc.OnDequeue(pkt.EnqIngress, port, tc, size)
 	}
 	return pkt, int(size)
-}
-
-// creditIngress releases PFC ingress accounting for size bytes that had
-// arrived on inPort, emitting RESUME when the XON threshold is crossed.
-// Shared by the dequeue path and watchdog queue flushes.
-func (sw *Switch) creditIngress(inPort int, size int64) {
-	in := sw.ports[inPort]
-	in.ingressBytes -= size
-	if in.sentXOff && in.ingressBytes <= sw.cfg.XOn {
-		in.sentXOff = false
-		sw.Ctr.ResumeFrames++
-		if sw.Audit != nil {
-			sw.Audit.OnPFC(sw, inPort, false)
-		}
-		pf := sw.newControl()
-		pf.Type = packet.Resume
-		pf.Src = sw.id
-		in.tx.DeliverControl(pf)
-	}
 }
 
 // pauseRx handles a received PFC PAUSE frame for an egress port.
@@ -618,8 +653,10 @@ func (sw *Switch) watchdogCheck(port int) {
 }
 
 // flushPort drops every packet queued on an egress port, returning the
-// count. credit releases PFC ingress accounting per packet (watchdog
-// mitigation); a rebooting switch zeroes that state wholesale instead.
+// count. credit releases flow-control accounting per packet (watchdog
+// mitigation); a rebooting switch resets that state wholesale instead.
+// With no flow control bound, crediting is inert — the watchdog works
+// identically whether the local policy is PFC, BFC or nothing.
 func (sw *Switch) flushPort(port int, reason DropReason, credit bool) int64 {
 	p := sw.ports[port]
 	var n int64
@@ -638,8 +675,8 @@ func (sw *Switch) flushPort(port int, reason DropReason, credit bool) int64 {
 			if sw.Audit != nil {
 				sw.Audit.OnDrop(sw, port, c, pkt, reason, q.bytes, sw.bufLimit-sw.used)
 			}
-			if credit && sw.cfg.PFC {
-				sw.creditIngress(pkt.EnqIngress, size)
+			if credit && sw.fc != nil {
+				sw.fc.OnDequeue(pkt.EnqIngress, port, c, size)
 			}
 			sw.recycle(pkt)
 		}
@@ -664,10 +701,12 @@ func (sw *Switch) Fail() {
 func (sw *Switch) Failed() bool { return sw.failed }
 
 // Reboot restores a failed switch with a factory-fresh MMU: buffered
-// packets are lost (counted as switch-fail drops), PFC ingress
-// accounting, pause state and watchdog state restart from zero. Peers
-// the dead switch had XOFF'd are NOT resumed — that state died with it;
-// their own pause timeout or watchdog must release them.
+// packets are lost (counted as switch-fail drops), flow-control
+// accounting, pause state and watchdog state restart from zero. The
+// installed policies survive the reboot (the chip's configuration is
+// persistent) but their per-run state resets. Peers the dead switch had
+// XOFF'd are NOT resumed — that state died with it; their own pause
+// timeout or watchdog must release them.
 func (sw *Switch) Reboot() {
 	if !sw.failed {
 		return
@@ -676,9 +715,12 @@ func (sw *Switch) Reboot() {
 		sw.Ctr.DropSwitchFail += sw.flushPort(i, DropReasonSwitchFail, false)
 	}
 	sw.failed = false
+	sw.policy.Reset()
+	sw.bufLimit = sw.policy.Capacity()
+	if sw.fc != nil {
+		sw.fc.Reset()
+	}
 	for _, p := range sw.ports {
-		p.ingressBytes = 0
-		p.sentXOff = false
 		p.wdPending = false
 		p.wdIgnoreUntil = 0
 		p.tx.Resume() // received-pause state was lost with the reboot

@@ -157,6 +157,14 @@ type LeafSpineConfig struct {
 	Switch      fabric.SwitchConfig // Ports is set per switch by the builder
 	SeedSalt    int64               // RNG seed for probabilistic ECN
 
+	// PerSwitch, when set, is called for every switch the builder
+	// constructs — ToRs first (i = 0..Tors-1, spine=false), then spines
+	// (i = Tors..Tors+Spines-1, spine=true) — after the builder sets
+	// Ports and before NewSwitch. It may mutate the config in place to
+	// give individual switches their own MMU/flow-control policies or
+	// thresholds (e.g. tiny-buffer ToRs under a deep-buffered spine).
+	PerSwitch func(i int, spine bool, sc *fabric.SwitchConfig)
+
 	// HostPauseTimeout, when non-zero, makes host NIC pause state expire
 	// after that long without a refreshing PAUSE frame (finite PFC
 	// quanta), so a NIC paused by a switch that then dies recovers.
@@ -262,6 +270,9 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 	for t := range tors {
 		sc := cfg.Switch
 		sc.Ports = cfg.HostsPerTor + cfg.Spines
+		if cfg.PerSwitch != nil {
+			cfg.PerSwitch(t, false, &sc)
+		}
 		tors[t] = fabric.NewSwitch(simFor(torShard[t]), torID(t), swRNG(), sc)
 		tors[t].SetPool(n.Pools[torShard[t]])
 		n.Switches = append(n.Switches, tors[t])
@@ -271,6 +282,9 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 	for c := range spines {
 		sc := cfg.Switch
 		sc.Ports = cfg.Tors
+		if cfg.PerSwitch != nil {
+			cfg.PerSwitch(cfg.Tors+c, true, &sc)
+		}
 		spines[c] = fabric.NewSwitch(simFor(spineShard[c]), spineID(c), swRNG(), sc)
 		spines[c].SetPool(n.Pools[spineShard[c]])
 		n.Switches = append(n.Switches, spines[c])
