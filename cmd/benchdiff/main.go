@@ -1,11 +1,13 @@
 // Command benchdiff compares two bench artifacts (BENCH_*.json, written
-// by tltsim -bench-out) and fails when event throughput regressed beyond
-// a threshold. CI runs it against the committed per-PR baseline so a
-// scheduler or data-plane slowdown breaks the build instead of landing
-// silently:
+// by tltsim -bench-out) and fails when event throughput regressed — or
+// peak heap grew — beyond a threshold. CI runs it against the committed
+// per-PR baseline so a scheduler or data-plane slowdown breaks the build
+// instead of landing silently, and so a streaming run that starts
+// retaining per-flow state trips the memory gate:
 //
 //	tltsim -exp fig5 -bg 60 -seeds 1 -points 2 -bench-out BENCH_ci.json
 //	benchdiff -max-regress 0.20 BENCH_pr4.json BENCH_ci.json
+//	benchdiff -exp scale-sweep -max-heap-bytes 268435456 BENCH_pr9.json BENCH_ci.json
 //
 // Records are matched by (experiment, procs). Experiments present in
 // only one artifact are called out explicitly — "(new)" for
@@ -43,6 +45,10 @@ type key struct {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.20,
 		"fail when events/sec drops by more than this fraction vs baseline")
+	maxHeapRegress := flag.Float64("max-heap-regress", 0.20,
+		"fail when peak heap grows by more than this fraction vs baseline (records without heap data are skipped)")
+	maxHeapBytes := flag.Uint64("max-heap-bytes", 0,
+		"fail when any current record's peak heap exceeds this absolute byte budget (0 = no absolute gate)")
 	expFilter := flag.String("exp", "", "compare only this experiment (empty = all)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -74,8 +80,8 @@ func main() {
 		curHas[key{r.Experiment, r.Procs}] = true
 	}
 
-	fmt.Printf("%-16s %6s %14s %14s %8s\n",
-		"experiment", "procs", "base ev/s", "cur ev/s", "ratio")
+	fmt.Printf("%-16s %6s %14s %14s %8s %12s %8s\n",
+		"experiment", "procs", "base ev/s", "cur ev/s", "ratio", "peak heap", "heap x")
 	failed := false
 	compared := 0
 	onesided := 0
@@ -83,11 +89,20 @@ func main() {
 		if *expFilter != "" && r.Experiment != *expFilter {
 			continue
 		}
+		heapCol := "-"
+		if r.PeakHeapBytes > 0 {
+			heapCol = fmt.Sprintf("%.1fMB", float64(r.PeakHeapBytes)/1e6)
+		}
+		mark := ""
+		if *maxHeapBytes > 0 && r.PeakHeapBytes > *maxHeapBytes {
+			mark = "  HEAP BUDGET EXCEEDED"
+			failed = true
+		}
 		b, ok := baseBy[key{r.Experiment, r.Procs}]
 		if !ok {
 			onesided++
-			fmt.Printf("%-16s %6d %14s %14.0f %8s\n",
-				r.Experiment, r.Procs, "(new)", r.EventsPerSec, "-")
+			fmt.Printf("%-16s %6d %14s %14.0f %8s %12s %8s%s\n",
+				r.Experiment, r.Procs, "(new)", r.EventsPerSec, "-", heapCol, "-", mark)
 			continue
 		}
 		if b.EventsPerSec <= 0 {
@@ -95,13 +110,23 @@ func main() {
 		}
 		compared++
 		ratio := r.EventsPerSec / b.EventsPerSec
-		mark := ""
 		if ratio < 1-*maxRegress {
-			mark = "  REGRESSION"
+			mark += "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-16s %6d %14.0f %14.0f %7.2fx%s\n",
-			r.Experiment, r.Procs, b.EventsPerSec, r.EventsPerSec, ratio, mark)
+		// Heap gate: relative growth of peak live heap, only when both
+		// artifacts carry heap data (older baselines predate the field).
+		heapRatio := "-"
+		if b.PeakHeapBytes > 0 && r.PeakHeapBytes > 0 {
+			hr := float64(r.PeakHeapBytes) / float64(b.PeakHeapBytes)
+			heapRatio = fmt.Sprintf("%.2fx", hr)
+			if hr > 1+*maxHeapRegress {
+				mark += "  HEAP REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-16s %6d %14.0f %14.0f %7.2fx %12s %8s%s\n",
+			r.Experiment, r.Procs, b.EventsPerSec, r.EventsPerSec, ratio, heapCol, heapRatio, mark)
 	}
 	// Baseline records with no counterpart in the current run are just as
 	// suspicious as new ones: an experiment silently vanishing from the
@@ -124,8 +149,8 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr,
-			"benchdiff: throughput regressed more than %.0f%% vs %s\n",
-			*maxRegress*100, flag.Arg(0))
+			"benchdiff: throughput or peak heap regressed beyond thresholds vs %s\n",
+			flag.Arg(0))
 		os.Exit(1)
 	}
 	fmt.Printf("ok: %d record(s) within %.0f%% of baseline\n", compared, *maxRegress*100)

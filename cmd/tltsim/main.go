@@ -8,6 +8,7 @@
 //	tltsim -exp all -full            # paper scale (slow)
 //	tltsim -exp fig5 -procs 8        # cap simulation workers
 //	tltsim -exp fig5 -shards 4       # shard each simulation across 4 event loops
+//	tltsim -exp fig5 -shards auto    # one shard per CPU, capped at the leaf count
 //	tltsim -exp all -bench-out BENCH_local.json
 //	tltsim -exp fig5 -audit          # run with the invariant auditor on
 //	tltsim -exp fig9 -chaos 'flap:link=rand,at=200us,down=50us,every=2ms'
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,7 +39,7 @@ func main() {
 		points    = flag.Int("points", 0, "trim sweep axes to the first N points")
 		format    = flag.String("format", "table", "output format: table, csv, json")
 		procs     = flag.Int("procs", runtime.GOMAXPROCS(0), "max concurrent simulations")
-		shards    = flag.Int("shards", 1, "event-loop shards per simulation (parallel DES; reports stay byte-identical across shard counts)")
+		shards    = flag.String("shards", "1", "event-loop shards per simulation, or 'auto' = min(NumCPU, 12) (parallel DES; reports stay byte-identical across shard counts)")
 		benchOut  = flag.String("bench-out", "", "write per-experiment bench records (wall clock, events/sec, allocs) to this JSON file")
 		benchRep  = flag.Int("bench-repeat", 1, "run each bench entry this many times and record the median-events/s run")
 		chaosSpec = flag.String("chaos", "", "fault schedule, e.g. 'flap:link=rand,at=200us,down=50us,every=2ms;seed=7'")
@@ -82,9 +84,18 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	nShards := experiments.AutoShards()
+	if *shards != "auto" {
+		var err error
+		nShards, err = strconv.Atoi(*shards)
+		if err != nil || nShards < 1 {
+			fmt.Fprintf(os.Stderr, "-shards: want a positive integer or 'auto', got %q\n", *shards)
+			os.Exit(2)
+		}
+	}
 	experiments.SetHarness(plan, *auditFlag)
 	experiments.SetProcs(*procs)
-	experiments.SetShards(*shards)
+	experiments.SetShards(nShards)
 	experiments.SetPolicies(*mmuFlag, *fcFlag)
 
 	if *list {

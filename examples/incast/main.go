@@ -88,7 +88,7 @@ func run(v variant, flows int) (p50, p99, max float64, timeouts int) {
 		tcp.StartFlow(s, src, net.Hosts[0], f, cfg, rec, nil)
 	}
 	s.Run(10 * sim.Second)
-	fcts := rec.Select(true)
-	return stats.Percentile(fcts, 0.5), stats.Percentile(fcts, 0.99),
-		stats.Percentile(fcts, 1), rec.TimeoutsAll()
+	fcts := stats.Sorted(rec.Select(true))
+	return stats.PercentileSorted(fcts, 0.5), stats.PercentileSorted(fcts, 0.99),
+		stats.PercentileSorted(fcts, 1), rec.TimeoutsAll()
 }

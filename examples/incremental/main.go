@@ -60,10 +60,10 @@ func main() {
 	s.Run(sim.Second)
 
 	report := func(name string, fg bool) {
-		fcts := rec.Select(fg)
+		fcts := stats.Sorted(rec.Select(fg))
 		fmt.Printf("%-18s p50 %-9s p99 %-9s timeouts %d\n", name,
-			stats.FmtDur(stats.Percentile(fcts, 0.5)),
-			stats.FmtDur(stats.Percentile(fcts, 0.99)),
+			stats.FmtDur(stats.PercentileSorted(fcts, 0.5)),
+			stats.FmtDur(stats.PercentileSorted(fcts, 0.99)),
 			rec.Timeouts(fg))
 	}
 	fmt.Println("64-to-1 incast, half the senders upgraded to TLT (own switch queue):")

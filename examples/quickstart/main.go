@@ -53,7 +53,7 @@ func run(useTLT bool) {
 	}
 	s.Run(sim.Second)
 
-	fcts := rec.Select(true)
+	fcts := stats.Sorted(rec.Select(true))
 	ctr := net.Counters()
 	name := "DCTCP      "
 	if useTLT {
@@ -61,9 +61,9 @@ func run(useTLT bool) {
 	}
 	fmt.Printf("%s  p50 %-9s p99 %-9s max %-9s timeouts %-3d drops(red/total) %d/%d important-drops %d\n",
 		name,
-		stats.FmtDur(stats.Percentile(fcts, 0.5)),
-		stats.FmtDur(stats.Percentile(fcts, 0.99)),
-		stats.FmtDur(stats.Percentile(fcts, 1)),
+		stats.FmtDur(stats.PercentileSorted(fcts, 0.5)),
+		stats.FmtDur(stats.PercentileSorted(fcts, 0.99)),
+		stats.FmtDur(stats.PercentileSorted(fcts, 1)),
 		rec.TimeoutsAll(),
 		ctr.DropRedColor, ctr.TotalDrops(), ctr.DropGreen)
 }

@@ -66,11 +66,12 @@ func main() {
 		if useTLT {
 			name = "DCTCP + TLT"
 		}
+		sorted := stats.Sorted(xs)
 		fmt.Printf("%s  completed %3d/%3d  p50 %-9s p99 %-9s max %-9s timeouts %d\n",
 			name, len(xs), *requests,
-			stats.FmtDur(stats.Percentile(xs, 0.5)),
-			stats.FmtDur(stats.Percentile(xs, 0.99)),
-			stats.FmtDur(stats.Percentile(xs, 1)),
+			stats.FmtDur(stats.PercentileSorted(sorted, 0.5)),
+			stats.FmtDur(stats.PercentileSorted(sorted, 0.99)),
+			stats.FmtDur(stats.PercentileSorted(sorted, 1)),
 			rec.TimeoutsAll())
 	}
 }

@@ -1,0 +1,132 @@
+package app
+
+import (
+	"tlt/internal/sim"
+	"tlt/internal/workload"
+)
+
+// ServiceConfig parametrizes the scale experiments' service mode: an
+// open-loop population of clients issuing RPCs against a replicated
+// server pool with Zipf-skewed key popularity. Each request fans in
+// Fanout response flows (one per key touched) from servers to the
+// requesting client — the churn- and incast-heavy shape the paper's
+// closed-loop CDF workloads never exercise.
+type ServiceConfig struct {
+	Hosts    int     // total fabric hosts; servers first, clients after
+	Servers  int     // replicated server pool size (hosts 0..Servers-1)
+	Keys     int     // distinct keys
+	Replicas int     // copies of each key, spread over servers
+	Skew     float64 // Zipf exponent of key popularity (1.1 typical)
+
+	Requests int      // open-loop request arrivals
+	MeanGap  sim.Time // mean request inter-arrival (Poisson)
+	Fanout   int      // keys touched (= response flows) per request
+	Dist     *workload.SizeDist
+	Seed     int64
+}
+
+// Service precomputes the key→replica placement and popularity model.
+// Stream() then yields the deterministic open-loop arrival schedule;
+// every shard builds an identical Service and walks the same stream.
+type Service struct {
+	cfg  ServiceConfig
+	zipf *workload.Zipf
+	// replica[key*Replicas+r] is the server holding copy r of key.
+	replica []int
+	// share[s] is the fraction of response traffic served by server s,
+	// implied by key popularity and uniform replica choice.
+	share []float64
+}
+
+// NewService builds the placement. Keys are placed by deterministic
+// hashing (key copy r on server (key*Replicas+r*stride) mod Servers),
+// so construction needs no RNG and is identical on every shard.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Servers {
+		cfg.Replicas = cfg.Servers
+	}
+	sv := &Service{
+		cfg:     cfg,
+		zipf:    workload.NewZipf(cfg.Keys, cfg.Skew),
+		replica: make([]int, cfg.Keys*cfg.Replicas),
+		share:   make([]float64, cfg.Servers),
+	}
+	// stride spreads a key's replicas across the pool instead of
+	// clustering them on adjacent servers.
+	stride := cfg.Servers/cfg.Replicas + 1
+	for k := 0; k < cfg.Keys; k++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			s := (k + r*stride) % cfg.Servers
+			sv.replica[k*cfg.Replicas+r] = s
+			sv.share[s] += sv.zipf.P(k) / float64(cfg.Replicas)
+		}
+	}
+	return sv
+}
+
+// MaxServerShare returns the hottest server's fraction of response
+// traffic. The scale sweep calibrates its arrival rate so that this
+// server — not the fabric average — runs at the target load.
+func (sv *Service) MaxServerShare() float64 {
+	var m float64
+	for _, s := range sv.share {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// stream walks the open-loop request schedule: each request picks a
+// client uniformly, Fanout keys by popularity, one replica per key
+// uniformly, and a response size per flow from Dist.
+type stream struct {
+	sv   *Service
+	rng  *sim.RNG
+	now  sim.Time
+	left int // requests remaining
+	// pending fan-in flows of the current request, emitted one per Next.
+	pending []workload.Arrival
+	npend   int
+}
+
+// Stream returns a fresh iterator over the service's arrival schedule.
+// All Fanout flows of one request share an arrival instant.
+func (sv *Service) Stream() workload.Source {
+	return &stream{
+		sv:      sv,
+		rng:     sim.NewRNG(sv.cfg.Seed),
+		left:    sv.cfg.Requests,
+		pending: make([]workload.Arrival, sv.cfg.Fanout),
+	}
+}
+
+func (st *stream) Next() (workload.Arrival, bool) {
+	if st.npend > 0 {
+		st.npend--
+		return st.pending[len(st.pending)-1-st.npend], true
+	}
+	if st.left <= 0 {
+		return workload.Arrival{}, false
+	}
+	st.left--
+	cfg := st.sv.cfg
+	st.now += st.rng.ExpDuration(cfg.MeanGap)
+	client := cfg.Servers + st.rng.Intn(cfg.Hosts-cfg.Servers)
+	for i := 0; i < cfg.Fanout; i++ {
+		key := st.sv.zipf.Sample(st.rng)
+		server := st.sv.replica[key*cfg.Replicas+st.rng.Intn(cfg.Replicas)]
+		st.pending[i] = workload.Arrival{
+			At:   st.now,
+			Src:  server,
+			Dst:  client,
+			Size: cfg.Dist.Sample(st.rng),
+			FG:   true,
+		}
+	}
+	st.npend = cfg.Fanout - 1
+	return st.pending[0], true
+}

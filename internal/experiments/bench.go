@@ -22,6 +22,15 @@ type BenchRecord struct {
 	AllocsPerCell  float64 `json:"allocs_per_cell"`
 	AllocMBPerCell float64 `json:"alloc_mb_per_cell"`
 
+	// HeapAllocBytes is the live heap right after the run; PeakHeapBytes
+	// is the largest live heap a ~20ms sampler observed during it. Peak
+	// is the number the bounded-memory experiments gate on: a streaming
+	// run that accidentally retains per-flow state shows up here even
+	// when the post-run live heap looks innocent. Absent (zero) in
+	// records from before the scale runner.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
+	PeakHeapBytes  uint64 `json:"peak_heap_bytes,omitempty"`
+
 	// Shards is the per-run shard count the entry executed with, and
 	// ShardEvents the per-shard event totals over the grid — a direct
 	// read on partition balance. Repeats is how many times the entry
@@ -100,30 +109,59 @@ func MeasureEntryN(e Entry, scale Scale, repeats int) (BenchRecord, *Report) {
 func measureOnce(e Entry, scale Scale) (BenchRecord, *Report) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	peak := make(chan uint64, 1)
+	stop := make(chan struct{})
+	go func() {
+		// Peak-heap sampler: cheap enough at 20ms to leave on for every
+		// bench run, fine-grained enough to catch a transient balloon.
+		var ms runtime.MemStats
+		var max uint64
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				peak <- max
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > max {
+					max = ms.HeapAlloc
+				}
+			}
+		}
+	}()
 	start := time.Now()
 	rep := RunEntry(e, scale)
 	wall := time.Since(start).Seconds()
+	close(stop)
+	peakHeap := <-peak
 	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > peakHeap {
+		peakHeap = after.HeapAlloc
+	}
 
 	cells, events := rep.GridStats()
 	sched := rep.SchedStats()
 	mmuName, fcName := Policies()
 	rec := BenchRecord{
-		Experiment:    e.ID,
-		Procs:         Procs(),
-		Shards:        Shards(),
-		MMU:           mmuName,
-		FC:            fcName,
-		ShardEvents:   rep.ShardEvents(),
-		Cells:         cells,
-		Rows:          len(rep.Rows),
-		WallSeconds:   wall,
-		Events:        events,
-		DeadPops:      sched.DeadPops,
-		DeadReclaimed: sched.DeadReclaimed,
-		Cascades:      sched.Cascades,
-		Compactions:   sched.Compactions,
-		HeapMax:       sched.HeapMax,
+		Experiment:     e.ID,
+		Procs:          Procs(),
+		Shards:         Shards(),
+		MMU:            mmuName,
+		FC:             fcName,
+		ShardEvents:    rep.ShardEvents(),
+		Cells:          cells,
+		Rows:           len(rep.Rows),
+		WallSeconds:    wall,
+		Events:         events,
+		HeapAllocBytes: after.HeapAlloc,
+		PeakHeapBytes:  peakHeap,
+		DeadPops:       sched.DeadPops,
+		DeadReclaimed:  sched.DeadReclaimed,
+		Cascades:       sched.Cascades,
+		Compactions:    sched.Compactions,
+		HeapMax:        sched.HeapMax,
 	}
 	if wall > 0 {
 		rec.EventsPerSec = float64(events) / wall

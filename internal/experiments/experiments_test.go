@@ -91,7 +91,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig14c", "fig15",
 		"fig16", "fig17", "fig18", "table1", "dumbbell", "ablation-n", "ablation-alpha",
-		"ablation-buffer", "chaos-recovery", "failure-recovery"}
+		"ablation-buffer", "chaos-recovery", "failure-recovery", "scale-sweep"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}

@@ -99,9 +99,9 @@ func Fig12(scale Scale) *Report {
 					if r == nil || r.Panicked {
 						continue
 					}
-					xs := r.App.([]float64)
-					p99s = append(p99s, stats.Percentile(xs, 0.99))
-					maxs = append(maxs, stats.Percentile(xs, 1))
+					sorted := stats.Sorted(r.App.([]float64))
+					p99s = append(p99s, stats.PercentileSorted(sorted, 0.99))
+					maxs = append(maxs, stats.PercentileSorted(sorted, 1))
 					timeouts += r.Rec.TimeoutsAll()
 				}
 				rep.AddRow(v.Name(), fmt.Sprintf("%d", reqs),
@@ -211,8 +211,9 @@ func Fig14(scale Scale) *Report {
 						continue
 					}
 					ir := r.App.(*incastResult)
-					p99s = append(p99s, stats.Percentile(ir.fcts, 0.99))
-					p50s = append(p50s, stats.Percentile(ir.fcts, 0.5))
+					sorted := stats.Sorted(ir.fcts)
+					p99s = append(p99s, stats.PercentileSorted(sorted, 0.99))
+					p50s = append(p50s, stats.PercentileSorted(sorted, 0.5))
 					timeouts += ir.timeouts
 				}
 				rep.AddRow(v.Name(), fmt.Sprintf("%d", flowsN),
@@ -283,9 +284,10 @@ func Fig14CDF(scale Scale) *Report {
 		}
 		sw.cell(rc, func(res *Result) {
 			ir := res.App.(*incastResult)
+			sorted := stats.Sorted(ir.fcts)
 			row := []string{v.Name()}
 			for _, p := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1} {
-				row = append(row, stats.FmtDur(stats.Percentile(ir.fcts, p)))
+				row = append(row, stats.FmtDur(stats.PercentileSorted(sorted, p)))
 			}
 			rep.AddRow(row...)
 		})

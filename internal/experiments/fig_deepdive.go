@@ -150,12 +150,12 @@ func Fig16(scale Scale) *Report {
 	} {
 		rc := RunConfig{Variant: v, Traffic: trafficFor(scale, 0.4, 0.05), CollectDelivery: true, Seed: 1}
 		sw.cell(rc, func(res *Result) {
-			xs := res.Rec.DeliverySamples.Samples()
+			sorted := stats.Sorted(res.Rec.DeliverySamples.Samples())
 			rep.AddRow(v.Name(),
-				stats.FmtDur(stats.Percentile(xs, 0.5)),
-				stats.FmtDur(stats.Percentile(xs, 0.9)),
-				stats.FmtDur(stats.Percentile(xs, 0.99)),
-				stats.FmtDur(stats.Percentile(xs, 0.999)))
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.5)),
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.9)),
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.99)),
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.999)))
 		})
 	}
 	sw.exec()

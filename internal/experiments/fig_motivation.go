@@ -43,10 +43,11 @@ func Fig1(scale Scale) *Report {
 			if len(xs) > 0 {
 				frac = float64(over) / float64(len(xs))
 			}
+			sorted := stats.Sorted(xs)
 			rep.AddRow(class, metric,
-				stats.FmtDur(stats.Percentile(xs, 0.5)),
-				stats.FmtDur(stats.Percentile(xs, 0.9)),
-				stats.FmtDur(stats.Percentile(xs, 0.99)),
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.5)),
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.9)),
+				stats.FmtDur(stats.PercentileSorted(sorted, 0.99)),
 				fmt.Sprintf("%.1f%%", frac*100))
 		}
 		add("background", "RTT", res.Rec.RTTSamplesBG)

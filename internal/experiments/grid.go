@@ -67,6 +67,21 @@ func Shards() int {
 	return sessionShards
 }
 
+// AutoShards picks a shard count for this host: one event loop per CPU,
+// capped at the default leaf-spine's 12 ToRs — the partitioner assigns
+// whole switches, so shards beyond the leaf count sit idle. Degrades to
+// 1 on a single-core host (sharding only costs mailbox traffic there).
+func AutoShards() int {
+	n := runtime.NumCPU()
+	if n > 12 {
+		n = 12
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // sessionMMU/sessionFC are the session default switch MMU and
 // flow-control policy names (the -mmu / -fc flags); "" keeps each
 // variant's own setting. Guarded by procsMu like the other session

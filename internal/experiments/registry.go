@@ -33,6 +33,7 @@ var All = []Entry{
 	{"ablation-buffer", "buffer policy × buffer size (pluggable MMU)", AblationBuffer},
 	{"chaos-recovery", "FCT degradation under link flaps (graceful degradation)", ChaosRecovery},
 	{"failure-recovery", "switch failure + pause storm: reroute, watchdog, abort", FailureRecovery},
+	{"scale-sweep", "bounded-memory fat-tree scale: hosts × load × TLT (streaming stats)", ScaleSweep},
 }
 
 // ByID returns the entry with the given ID.

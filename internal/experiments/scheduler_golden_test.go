@@ -10,7 +10,7 @@ import (
 // exercise the same grids.
 func goldenScale() Scale { return Scale{BgFlows: 30, Seeds: 2, AppPoints: 2} }
 
-var goldenIDs = []string{"fig5", "chaos-recovery", "failure-recovery", "ablation-buffer"}
+var goldenIDs = []string{"fig5", "chaos-recovery", "failure-recovery", "ablation-buffer", "scale-sweep"}
 
 // TestSchedulerSwapReportsByteIdentical pins fig5 and chaos-recovery
 // reports to goldens captured with the seed flat-heap scheduler, at both

@@ -29,13 +29,15 @@ func renderSharded(t *testing.T, id string, scale Scale, procs, shards int) stri
 // pause storms (failure-recovery) — every cross-shard mutation path the
 // chaos engine has — and the non-default MMU/flow-control strategies
 // (ablation-buffer: bshare thresholds, tiny-buffer capacity, BFC
-// pause targeting all run inside sharded fabrics).
+// pause targeting all run inside sharded fabrics) — plus the streaming
+// fat-tree runner (scale-sweep: per-shard schedule walkers, merged
+// stream aggregates).
 func TestGridReportsDeterministicAcrossShards(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
 	scale := Scale{BgFlows: 30, Seeds: 2, AppPoints: 2}
-	for _, id := range []string{"fig5", "chaos-recovery", "failure-recovery", "ablation-buffer"} {
+	for _, id := range []string{"fig5", "chaos-recovery", "failure-recovery", "ablation-buffer", "scale-sweep"} {
 		base := renderSharded(t, id, scale, 1, 1)
 		for _, cfg := range [][2]int{{1, 4}, {8, 1}, {8, 4}} {
 			got := renderSharded(t, id, scale, cfg[0], cfg[1])

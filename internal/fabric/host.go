@@ -36,9 +36,10 @@ type Host struct {
 	// indexes. idx maps FlowID → slot+1 (0 = unregistered); slots holds
 	// the handlers. handlers is the slow path for IDs past maxDenseFlow
 	// and stays nil until one appears.
-	idx      []int32
-	slots    []PacketHandler
-	handlers map[packet.FlowID]PacketHandler
+	idx       []int32
+	slots     []PacketHandler
+	freeSlots []int32
+	handlers  map[packet.FlowID]PacketHandler
 
 	// pool, when set, supplies outbound packets and recycles inbound
 	// ones after dispatch. Shared by every host of one network (the sim
@@ -92,6 +93,15 @@ func (h *Host) Register(flow packet.FlowID, ep PacketHandler) {
 			h.slots[s-1] = ep
 			return
 		}
+		if n := len(h.freeSlots); n > 0 {
+			// Reuse a slot retired by Unregister so churn-heavy
+			// runs keep the table O(live flows), not O(ever seen).
+			s := h.freeSlots[n-1]
+			h.freeSlots = h.freeSlots[:n-1]
+			h.slots[s-1] = ep
+			h.idx[flow] = s
+			return
+		}
 		h.slots = append(h.slots, ep)
 		h.idx[flow] = int32(len(h.slots))
 		return
@@ -111,6 +121,7 @@ func (h *Host) Unregister(flow packet.FlowID) {
 			if s := h.idx[flow]; s != 0 {
 				h.slots[s-1] = nil // release the handler reference
 				h.idx[flow] = 0
+				h.freeSlots = append(h.freeSlots, s)
 			}
 		}
 		return

@@ -255,9 +255,20 @@ type Switch struct {
 	lossless bool
 
 	// routes maps destination host ID to the candidate egress ports
-	// (ECMP group), indexed densely by NodeID. Set by the topology
-	// builder; host IDs are small non-negative integers.
-	routes [][]int
+	// (ECMP group), indexed densely by NodeID minus routeBase. Set by
+	// the topology builder; host IDs are small non-negative integers.
+	// routeBase lets a switch whose specific entries cover only a high
+	// contiguous ID range (a fat-tree edge switch and its k/2 local
+	// hosts) skip the dense nil prefix that would otherwise cost
+	// O(hosts) per switch.
+	routes    [][]int
+	routeBase int
+
+	// defaultRoute, when non-empty, is the ECMP group used for any
+	// destination with no specific routes entry. Large Clos builders
+	// use it for "everything not below me goes up", which keeps FIB
+	// state O(local hosts) instead of O(all hosts) per switch.
+	defaultRoute []int
 
 	// pool, when set, recycles packets the switch drops at admission and
 	// supplies PFC control frames, so neither path allocates.
@@ -408,12 +419,36 @@ func (sw *Switch) Tx(port int) *Tx { return sw.ports[port].tx }
 func (sw *Switch) NumPorts() int { return len(sw.ports) }
 
 // SetRoute installs the ECMP egress port group for a destination host.
+// Indexes are absolute NodeIDs; on a switch configured with
+// SetRouteTableAt the destination must be at or above the table base.
 func (sw *Switch) SetRoute(dst packet.NodeID, egress []int) {
-	for int(dst) >= len(sw.routes) {
+	d := int(dst) - sw.routeBase
+	for d >= len(sw.routes) {
 		sw.routes = append(sw.routes, nil)
 	}
-	sw.routes[dst] = egress
+	sw.routes[d] = egress
 }
+
+// SetRouteTable installs a whole routing table at once. The slice may
+// be shared between switches with identical forwarding behavior (all
+// cores of a fat-tree, all aggregates of one pod), which collapses the
+// dominant O(switches × hosts) FIB cost of big Clos fabrics to one
+// table per equivalence class. Shared tables must not be mutated
+// afterward via SetRoute/reroute.
+func (sw *Switch) SetRouteTable(table [][]int) { sw.routes, sw.routeBase = table, 0 }
+
+// SetRouteTableAt installs a routing table covering destinations
+// [base, base+len(table)); anything outside falls through to the
+// default route. Fat-tree edge and aggregation switches use it so a
+// table over their local host range costs O(local hosts), not
+// O(all hosts) of nil-prefix padding.
+func (sw *Switch) SetRouteTableAt(base packet.NodeID, table [][]int) {
+	sw.routes, sw.routeBase = table, int(base)
+}
+
+// SetDefaultRoute installs the ECMP group used when a destination has
+// no specific entry (typically a Clos switch's uplinks).
+func (sw *Switch) SetDefaultRoute(egress []int) { sw.defaultRoute = egress }
 
 func (sw *Switch) attach(port int, tx *Tx) {
 	p := sw.ports[port]
@@ -468,10 +503,15 @@ func (sw *Switch) Receive(pkt *packet.Packet, inPort int) {
 		return
 	}
 
-	if int(pkt.Dst) >= len(sw.routes) || len(sw.routes[pkt.Dst]) == 0 {
+	group := sw.defaultRoute
+	if d := int(pkt.Dst) - sw.routeBase; d >= 0 && d < len(sw.routes) {
+		if g := sw.routes[d]; len(g) > 0 {
+			group = g
+		}
+	}
+	if len(group) == 0 {
 		panic(fmt.Sprintf("switch %d: no route to %d", sw.id, pkt.Dst))
 	}
-	group := sw.routes[pkt.Dst]
 	egress := group[0]
 	if len(group) > 1 {
 		egress = group[sw.ecmpHash(pkt.Flow, len(group))]

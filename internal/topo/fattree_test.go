@@ -1,0 +1,175 @@
+package topo
+
+import (
+	"testing"
+
+	"tlt/internal/fabric"
+	"tlt/internal/packet"
+	"tlt/internal/sim"
+)
+
+func fatTreeCfg(k int) FatTreeConfig {
+	return FatTreeConfig{
+		K:           k,
+		LinkRateBps: 40e9,
+		LinkDelay:   10 * sim.Microsecond,
+		Switch: fabric.SwitchConfig{
+			BufferBytes: 4_500_000,
+			Alpha:       1,
+		},
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	for _, k := range []int{4, 8} {
+		s := sim.New()
+		n := FatTree(s, fatTreeCfg(k))
+		half := k / 2
+		wantHosts := k * k * k / 4
+		if len(n.Hosts) != wantHosts {
+			t.Fatalf("k=%d: hosts = %d, want %d", k, len(n.Hosts), wantHosts)
+		}
+		wantSw := k*half + k*half + half*half
+		if len(n.Switches) != wantSw {
+			t.Fatalf("k=%d: switches = %d, want %d", k, len(n.Switches), wantSw)
+		}
+		for i, sw := range n.Switches {
+			if sw.NumPorts() != k {
+				t.Fatalf("k=%d: switch %d has %d ports, want %d", k, i, sw.NumPorts(), k)
+			}
+		}
+		// Hosts + edge↔agg (k·(k/2)² links) + agg↔core (k·(k/2)² links),
+		// both directions.
+		wantTx := 2 * (wantHosts + k*half*half + k*half*half)
+		if len(n.Txs) != wantTx {
+			t.Fatalf("k=%d: transmitters = %d, want %d", k, len(n.Txs), wantTx)
+		}
+		if n.BaseRTT != 2*6*10*sim.Microsecond {
+			t.Fatalf("k=%d: BaseRTT = %v", k, n.BaseRTT)
+		}
+		if FatTreeHosts(k) != wantHosts {
+			t.Fatalf("FatTreeHosts(%d) = %d", k, FatTreeHosts(k))
+		}
+	}
+}
+
+func TestFatTreeAllPairsReachable(t *testing.T) {
+	k := 4
+	s := sim.New()
+	n := FatTree(s, fatTreeCfg(k))
+	hosts := len(n.Hosts) // 16
+	// Every ordered pair: same-edge, same-pod cross-edge, cross-pod.
+	f := packet.FlowID(0)
+	for src := 0; src < hosts; src++ {
+		for dst := 0; dst < hosts; dst++ {
+			if src == dst {
+				continue
+			}
+			f++
+			c := &capture{}
+			n.Hosts[dst].Register(f, c)
+			n.Hosts[src].Send(&packet.Packet{
+				Flow: f, Dst: packet.NodeID(dst),
+				Type: packet.Data, Len: 100,
+			})
+			s.RunAll()
+			if len(c.got) != 1 {
+				t.Fatalf("pair (%d,%d): delivered %d packets", src, dst, len(c.got))
+			}
+			n.Hosts[dst].Unregister(f)
+		}
+	}
+}
+
+func TestFatTreeECMPSpreadsAcrossCores(t *testing.T) {
+	k := 8
+	s := sim.New()
+	n := FatTree(s, fatTreeCfg(k))
+	half := k / 2
+	numEdge, numAgg, numCore := k*half, k*half, half*half
+	src, dst := 0, len(n.Hosts)-1 // cross-pod
+	c := &capture{}
+	for f := 1; f <= 256; f++ {
+		n.Hosts[dst].Register(packet.FlowID(f), c)
+		for seq := 0; seq < 3; seq++ {
+			n.Hosts[src].Send(&packet.Packet{
+				Flow: packet.FlowID(f), Dst: packet.NodeID(dst),
+				Type: packet.Data, Seq: int64(seq), Len: 100,
+			})
+		}
+	}
+	s.RunAll()
+	if len(c.got) != 256*3 {
+		t.Fatalf("delivered %d", len(c.got))
+	}
+	perFlowSeq := map[packet.FlowID]int64{}
+	for _, p := range c.got {
+		if p.Seq != perFlowSeq[p.Flow] {
+			t.Fatalf("flow %d reordered", p.Flow)
+		}
+		perFlowSeq[p.Flow]++
+	}
+	used := 0
+	for _, sw := range n.Switches[numEdge+numAgg : numEdge+numAgg+numCore] {
+		var bytes int64
+		for p := 0; p < sw.NumPorts(); p++ {
+			bytes += sw.Tx(p).TxBytes
+		}
+		if bytes > 0 {
+			used++
+		}
+	}
+	if used < numCore/2 {
+		t.Fatalf("only %d of %d cores used by 256 cross-pod flows", used, numCore)
+	}
+}
+
+// A sharded fat-tree build must deliver identically to the classic one,
+// and the partitioner must keep every shard non-empty.
+func TestFatTreeShardedDelivery(t *testing.T) {
+	k := 4
+	for _, shards := range []int{1, 4} {
+		g := sim.NewGroup(shards, 10*sim.Microsecond)
+		cfg := fatTreeCfg(k)
+		cfg.Group = g
+		n := FatTree(g.Shard(0), cfg)
+		if len(n.Pools) != shards {
+			t.Fatalf("shards=%d: %d pools", shards, len(n.Pools))
+		}
+		seen := make([]bool, shards)
+		for _, sh := range n.SwitchShard {
+			seen[sh] = true
+		}
+		for sh, ok := range seen {
+			if !ok {
+				t.Fatalf("shards=%d: shard %d owns no switches", shards, sh)
+			}
+		}
+		src, dst := 0, len(n.Hosts)-1
+		c := &capture{}
+		n.Hosts[dst].Register(1, c)
+		n.ShardSim(n.HostShard[src]).At(0, func() {
+			n.Hosts[src].Send(&packet.Packet{
+				Flow: 1, Dst: packet.NodeID(dst), Type: packet.Data, Len: 100,
+			})
+		})
+		g.Run(sim.Second)
+		if len(c.got) != 1 {
+			t.Fatalf("shards=%d: delivered %d packets", shards, len(c.got))
+		}
+	}
+}
+
+// Classic build uses per-pod pools; pods must not share.
+func TestFatTreePerPodPools(t *testing.T) {
+	s := sim.New()
+	n := FatTree(s, fatTreeCfg(4))
+	if len(n.Pools) != 4 {
+		t.Fatalf("pools = %d, want one per pod", len(n.Pools))
+	}
+	for i := 1; i < len(n.Pools); i++ {
+		if n.Pools[i] == n.Pools[0] {
+			t.Fatalf("pod %d shares pool with pod 0", i)
+		}
+	}
+}

@@ -68,11 +68,13 @@ type Sender struct {
 	rtoEst      *transport.RTOEstimator
 	rtoDeadline sim.Time // 0 = disarmed
 	rtoPending  bool
+	rtoTimer    sim.Timer
 	backoff     uint
 	retries     int // consecutive RTO rounds without forward progress
 
 	tlpDeadline sim.Time
 	tlpPending  bool
+	tlpTimer    sim.Timer
 	tlpFired    bool // one probe per episode
 
 	tlt *core.WindowSender
@@ -103,10 +105,17 @@ func NewSender(s *sim.Sim, host *fabric.Host, flow *transport.Flow, cfg Config,
 	// growing it by geometric append copies the whole array log(n) times,
 	// which the memory profile shows as the single largest source of
 	// allocated bytes on large sweeps. Slack covers the extra 1-byte
-	// clock-probe segments; app-driven flows (Size 0) and outliers past
-	// the cap still grow on demand.
+	// clock-probe segments and is proportional to the flow, floored at 8
+	// — a flat slack dominates the sender's footprint on million-flow
+	// churn runs where most flows are 1-3 segments. App-driven flows
+	// (Size 0) and outliers past the cap still grow on demand.
 	if flow.Size > 0 {
-		nsegs := (flow.Size+int64(cfg.MSS)-1)/int64(cfg.MSS) + 64
+		nsegs := (flow.Size + int64(cfg.MSS) - 1) / int64(cfg.MSS)
+		slack := nsegs / 4
+		if slack < 8 {
+			slack = 8
+		}
+		nsegs += slack
 		if nsegs > 1<<16 {
 			nsegs = 1 << 16
 		}
@@ -687,7 +696,7 @@ func (s *Sender) armRTO() {
 	s.rtoDeadline = s.s.Now() + rto
 	if !s.rtoPending {
 		s.rtoPending = true
-		s.s.At(s.rtoDeadline, s.rtoTick)
+		s.rtoTimer = s.s.At(s.rtoDeadline, s.rtoTick)
 	}
 }
 
@@ -698,7 +707,7 @@ func (s *Sender) rtoTick() {
 	}
 	if now := s.s.Now(); now < s.rtoDeadline {
 		s.rtoPending = true
-		s.s.At(s.rtoDeadline, s.rtoTick)
+		s.rtoTimer = s.s.At(s.rtoDeadline, s.rtoTick)
 		return
 	}
 	s.onRTO()
@@ -716,7 +725,7 @@ func (s *Sender) armTLP() {
 	s.tlpDeadline = s.s.Now() + pto
 	if !s.tlpPending {
 		s.tlpPending = true
-		s.s.At(s.tlpDeadline, s.tlpTick)
+		s.tlpTimer = s.s.At(s.tlpDeadline, s.tlpTick)
 	}
 }
 
@@ -727,7 +736,7 @@ func (s *Sender) tlpTick() {
 	}
 	if now := s.s.Now(); now < s.tlpDeadline {
 		s.tlpPending = true
-		s.s.At(s.tlpDeadline, s.tlpTick)
+		s.tlpTimer = s.s.At(s.tlpDeadline, s.tlpTick)
 		return
 	}
 	s.onTLP()
@@ -807,9 +816,22 @@ func (s *Sender) complete() {
 	s.done = true
 	s.rtoDeadline = 0
 	s.tlpDeadline = 0
+	s.stopTimers()
 	if s.onDone != nil {
 		s.onDone()
 	}
+}
+
+// stopTimers cancels any pending tick events. The ticks would be no-ops
+// once done, but a cancelled event is reclaimed by the scheduler right
+// away, while a parked one pins the whole Sender in memory until its
+// deadline passes — on churn workloads that window (RTOmin and up) can
+// exceed the entire run, turning "done" senders into O(flows) live heap.
+func (s *Sender) stopTimers() {
+	s.rtoTimer.Stop()
+	s.tlpTimer.Stop()
+	s.rtoPending = false
+	s.tlpPending = false
 }
 
 // abort terminates the flow after MaxRetries consecutive timeouts: the
@@ -824,6 +846,7 @@ func (s *Sender) abort() {
 	s.aborted = true
 	s.rtoDeadline = 0
 	s.tlpDeadline = 0
+	s.stopTimers()
 	s.tlt.Reset()
 	if s.OnAbort != nil {
 		s.OnAbort()

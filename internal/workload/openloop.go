@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math"
+
+	"tlt/internal/sim"
+)
+
+// RPC approximates a key-value service's response-size distribution:
+// small objects with a modest tail, mean ~2.9 kB. Used by the scale
+// experiments' service mode, where the interesting pressure is
+// connection churn and fan-in, not elephant bytes.
+var RPC = NewSizeDist("rpc", [][2]float64{
+	{256, 0}, {512, 0.3}, {1_024, 0.6}, {2_048, 0.8},
+	{4_096, 0.9}, {16_384, 0.97}, {65_536, 1},
+})
+
+// Arrival is one open-loop flow arrival. Unlike the closed-loop
+// Generate path, arrivals are produced by an iterator and never
+// materialized as a slice — million-flow schedules walk in O(1) memory.
+type Arrival struct {
+	At       sim.Time
+	Src, Dst int // host indexes
+	Size     int64
+	FG       bool
+}
+
+// Source yields a deterministic arrival stream in non-decreasing time
+// order. Every shard of a sharded run constructs its own identical
+// Source (same seed) and walks the full schedule, acting only on the
+// endpoints it owns — so the schedule is byte-identical at any shard
+// count without any cross-shard hand-off.
+type Source interface {
+	// Next returns the next arrival, or ok=false when exhausted.
+	Next() (a Arrival, ok bool)
+}
+
+// PoissonConfig parametrizes an open-loop Poisson pair stream: Flows
+// arrivals with Exp(MeanGap) inter-arrival times between uniformly
+// random distinct host pairs, sizes drawn from Dist.
+type PoissonConfig struct {
+	Flows   int
+	MeanGap sim.Time
+	Hosts   int
+	Dist    *SizeDist
+	Seed    int64
+	FG      bool
+}
+
+// Poisson implements Source for PoissonConfig.
+type Poisson struct {
+	cfg  PoissonConfig
+	rng  *sim.RNG
+	now  sim.Time
+	left int
+}
+
+// NewPoisson returns a fresh iterator over the configured stream.
+func NewPoisson(cfg PoissonConfig) *Poisson {
+	return &Poisson{cfg: cfg, rng: sim.NewRNG(cfg.Seed), left: cfg.Flows}
+}
+
+// Next implements Source.
+func (p *Poisson) Next() (Arrival, bool) {
+	if p.left <= 0 {
+		return Arrival{}, false
+	}
+	p.left--
+	p.now += p.rng.ExpDuration(p.cfg.MeanGap)
+	src := p.rng.Intn(p.cfg.Hosts)
+	dst := p.rng.Intn(p.cfg.Hosts - 1)
+	if dst >= src {
+		dst++
+	}
+	return Arrival{
+		At:   p.now,
+		Src:  src,
+		Dst:  dst,
+		Size: p.cfg.Dist.Sample(p.rng),
+		FG:   p.cfg.FG,
+	}, true
+}
+
+// Zipf samples {0..n-1} with P(i) ∝ 1/(i+1)^skew via a cumulative
+// table and binary search. Deterministic given the RNG stream; O(n)
+// memory once, O(log n) per draw.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds the sampler. skew <= 0 degenerates to uniform.
+func NewZipf(n int, skew float64) *Zipf {
+	z := &Zipf{cum: make([]float64, n)}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), skew)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+// Sample draws one index.
+func (z *Zipf) Sample(rng *sim.RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// P returns the probability of index i.
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// merged interleaves two sources by arrival time; ties go to the first
+// source, so the merge is deterministic.
+type merged struct {
+	a, b     Source
+	na, nb   Arrival
+	oka, okb bool
+	primed   bool
+}
+
+// MergeSources combines two arrival streams into one time-ordered
+// stream. Both inputs must themselves be time-ordered.
+func MergeSources(a, b Source) Source { return &merged{a: a, b: b} }
+
+func (m *merged) Next() (Arrival, bool) {
+	if !m.primed {
+		m.na, m.oka = m.a.Next()
+		m.nb, m.okb = m.b.Next()
+		m.primed = true
+	}
+	switch {
+	case m.oka && (!m.okb || m.na.At <= m.nb.At):
+		out := m.na
+		m.na, m.oka = m.a.Next()
+		return out, true
+	case m.okb:
+		out := m.nb
+		m.nb, m.okb = m.b.Next()
+		return out, true
+	}
+	return Arrival{}, false
+}

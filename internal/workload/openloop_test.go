@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tlt/internal/sim"
+)
+
+// Poisson arrivals must have exponential inter-arrival times: a
+// Kolmogorov–Smirnov-style check of the empirical gap CDF against
+// 1-exp(-x/mean).
+func TestPoissonInterArrivalKS(t *testing.T) {
+	const n = 20000
+	mean := 50 * sim.Microsecond
+	p := NewPoisson(PoissonConfig{
+		Flows: n, MeanGap: mean, Hosts: 64, Dist: RPC, Seed: 9,
+	})
+	gaps := make([]float64, 0, n)
+	var prev sim.Time
+	for {
+		a, ok := p.Next()
+		if !ok {
+			break
+		}
+		if a.At < prev {
+			t.Fatal("arrivals not time-ordered")
+		}
+		gaps = append(gaps, float64(a.At-prev))
+		prev = a.At
+	}
+	if len(gaps) != n {
+		t.Fatalf("got %d arrivals, want %d", len(gaps), n)
+	}
+	// Walk the sorted sample and track the max CDF deviation.
+	sort.Float64s(gaps)
+	var d float64
+	for i, g := range gaps {
+		fe := 1 - math.Exp(-g/float64(mean))
+		emp0 := float64(i) / n
+		emp1 := float64(i+1) / n
+		if dev := math.Abs(fe - emp0); dev > d {
+			d = dev
+		}
+		if dev := math.Abs(fe - emp1); dev > d {
+			d = dev
+		}
+	}
+	// KS critical value at alpha=0.001 is ~1.95/sqrt(n) ≈ 0.014; allow
+	// headroom for the 1ns ExpDuration floor.
+	if d > 0.02 {
+		t.Fatalf("KS statistic %.4f too large for Exp(%v) inter-arrivals", d, mean)
+	}
+}
+
+// Zipf must concentrate mass: the top 1% of keys at skew 1.1 carry far
+// more than their uniform share, and empirical frequencies must match
+// the analytic probabilities.
+func TestZipfSkewMass(t *testing.T) {
+	const keys, draws = 1000, 200000
+	z := NewZipf(keys, 1.1)
+	rng := sim.NewRNG(5)
+	counts := make([]int, keys)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(rng)]++
+	}
+	var top int
+	for k := 0; k < keys/100; k++ {
+		top += counts[k]
+	}
+	topFrac := float64(top) / draws
+	if topFrac < 0.15 {
+		t.Fatalf("top 1%% of keys carry only %.3f of draws; Zipf(1.1) should concentrate >15%%", topFrac)
+	}
+	// Analytic check on the head keys (enough samples for a tight bound).
+	for k := 0; k < 10; k++ {
+		want := z.P(k)
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.01+0.2*want {
+			t.Fatalf("key %d: empirical %.4f vs analytic %.4f", k, got, want)
+		}
+	}
+	var sum float64
+	for k := 0; k < keys; k++ {
+		sum += z.P(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+// The open-loop schedule must be byte-identical across independently
+// constructed iterators — the property that lets every shard of a
+// sharded run walk its own copy and agree on every arrival.
+func TestOpenLoopScheduleDeterministic(t *testing.T) {
+	mk := func() Source {
+		bg := NewPoisson(PoissonConfig{
+			Flows: 500, MeanGap: sim.Millisecond, Hosts: 128,
+			Dist: WebSearch, Seed: 77,
+		})
+		fg := NewPoisson(PoissonConfig{
+			Flows: 900, MeanGap: 300 * sim.Microsecond, Hosts: 128,
+			Dist: RPC, Seed: 78, FG: true,
+		})
+		return MergeSources(fg, bg)
+	}
+	a, b := mk(), mk()
+	var n int
+	var prev sim.Time
+	for {
+		x, okx := a.Next()
+		y, oky := b.Next()
+		if okx != oky {
+			t.Fatal("streams end at different lengths")
+		}
+		if !okx {
+			break
+		}
+		if x != y {
+			t.Fatalf("arrival %d diverges: %+v vs %+v", n, x, y)
+		}
+		if x.At < prev {
+			t.Fatalf("merged stream out of order at %d", n)
+		}
+		prev = x.At
+		n++
+	}
+	if n != 1400 {
+		t.Fatalf("merged %d arrivals, want 1400", n)
+	}
+}
+
+func TestMergeSourcesOrdersAndExhausts(t *testing.T) {
+	a := NewPoisson(PoissonConfig{Flows: 10, MeanGap: sim.Second, Hosts: 4, Dist: RPC, Seed: 1})
+	b := NewPoisson(PoissonConfig{Flows: 200, MeanGap: sim.Millisecond, Hosts: 4, Dist: RPC, Seed: 2})
+	m := MergeSources(a, b)
+	var prev sim.Time
+	n := 0
+	for {
+		x, ok := m.Next()
+		if !ok {
+			break
+		}
+		if x.At < prev {
+			t.Fatalf("out of order at %d", n)
+		}
+		prev = x.At
+		n++
+	}
+	if n != 210 {
+		t.Fatalf("merged %d arrivals, want 210", n)
+	}
+}
