@@ -1,0 +1,57 @@
+# Build/test/profile pipeline. The committed PGO profile lives at
+# cmd/tltsim/default.pgo, where the Go toolchain picks it up
+# automatically (-pgo=auto is the default) for every build of tltsim;
+# `make pgo` regenerates it from the two representative workloads (the
+# fig5 closed-loop smoke and the streaming scale-sweep smoke — together
+# they cover the wheel drain, the switch datapath, and the transport
+# tick paths that dominate CPU). The sidecar default.pgo.meta records
+# the CHANGES.md line count at generation time; `make pgo-check` (and
+# CI) fail once the profile is more than PGO_MAX_AGE PRs stale.
+
+GO ?= go
+PGO := cmd/tltsim/default.pgo
+PGO_META := cmd/tltsim/default.pgo.meta
+PGO_MAX_AGE := 3
+
+.PHONY: all build test bench pgo pgo-check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench='BenchmarkFig5|BenchmarkChaosRecovery' -benchtime=1x -benchmem -run '^$$' .
+
+# Capture CPU profiles from the two smoke workloads CI gates on, merge
+# them into the committed default.pgo, and stamp the staleness sidecar.
+# Commit both files after running this. (Iterating is fine: the capture
+# runs already benefit from the previous profile; Go PGO is stable
+# under that feedback.)
+pgo:
+	$(GO) run ./cmd/tltsim -exp fig5 -bg 60 -seeds 1 -points 2 -procs 1 \
+		-cpuprofile /tmp/pgo-fig5.pb.gz
+	$(GO) run ./cmd/tltsim -exp scale-sweep -bg 25000 -points 1 -seeds 1 -procs 1 -shards 4 \
+		-cpuprofile /tmp/pgo-scale.pb.gz
+	$(GO) tool pprof -proto /tmp/pgo-fig5.pb.gz /tmp/pgo-scale.pb.gz > $(PGO)
+	echo "changes_lines=$$(wc -l < CHANGES.md)" > $(PGO_META)
+	@echo "wrote $(PGO) + $(PGO_META); commit both"
+
+# Fail when the committed profile has fallen more than PGO_MAX_AGE PRs
+# behind CHANGES.md (each PR appends one line there).
+pgo-check:
+	@cur=$$(wc -l < CHANGES.md); \
+	gen=$$(sed -n 's/^changes_lines=//p' $(PGO_META) 2>/dev/null); \
+	if [ -z "$$gen" ]; then \
+		echo "$(PGO_META) missing or invalid; run 'make pgo' and commit $(PGO) + $(PGO_META)" >&2; \
+		exit 1; \
+	fi; \
+	age=$$((cur - gen)); \
+	if [ $$age -gt $(PGO_MAX_AGE) ]; then \
+		echo "$(PGO) is $$age PRs stale (limit $(PGO_MAX_AGE)); run 'make pgo' and commit the refreshed profile" >&2; \
+		exit 1; \
+	fi; \
+	echo "ok: $(PGO) is $$age PR(s) old (limit $(PGO_MAX_AGE))"

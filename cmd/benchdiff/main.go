@@ -14,13 +14,25 @@
 // current-only, "(missing)" for baseline-only — and an empty
 // intersection exits non-zero; hosts differ, so only relative
 // throughput on the same machine is judged.
+//
+// A second mode gates Go microbenchmarks instead of artifacts: with
+// -max-ns-op set, the single argument is a `go test -bench` output file
+// ("-" for stdin) and the named benchmark's ns/op must stay under the
+// ceiling:
+//
+//	go test -run xxx -bench 'BenchmarkPostPop$' ./internal/sim | tee bench.txt
+//	benchdiff -bench-name PostPop -max-ns-op 150 bench.txt
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"tlt/internal/experiments"
 )
@@ -42,6 +54,63 @@ type key struct {
 	procs int
 }
 
+// gateBench scans `go test -bench` output for Benchmark<name> result
+// lines and fails when any exceeds maxNsOp nanoseconds per op. The
+// ceiling is absolute, so pick it generously for CI host variance; the
+// point is to catch a hot-path event costing 5× what it should, not a
+// 10% wobble.
+func gateBench(r io.Reader, name string, maxNsOp float64) int {
+	prefix := "Benchmark" + name
+	matched := 0
+	failed := false
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		// "BenchmarkPostPop-4  46131291  25.50 ns/op  0 B/op  0 allocs/op"
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], prefix) {
+			continue
+		}
+		if rest := fields[0][len(prefix):]; rest != "" && !strings.HasPrefix(rest, "-") {
+			continue // a longer benchmark name sharing the prefix
+		}
+		var nsOp float64 = -1
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err == nil {
+					nsOp = v
+				}
+				break
+			}
+		}
+		if nsOp < 0 {
+			continue
+		}
+		matched++
+		mark := ""
+		if nsOp > maxNsOp {
+			mark = "  OVER BUDGET"
+			failed = true
+		}
+		fmt.Printf("%s: %.2f ns/op (budget %.0f)%s\n", fields[0], nsOp, maxNsOp, mark)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no Benchmark%s result lines found\n", name)
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: Benchmark%s exceeded %.0f ns/op\n", name, maxNsOp)
+		return 1
+	}
+	fmt.Printf("ok: %d Benchmark%s run(s) within %.0f ns/op\n", matched, name, maxNsOp)
+	return 0
+}
+
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.20,
 		"fail when events/sec drops by more than this fraction vs baseline")
@@ -50,12 +119,34 @@ func main() {
 	maxHeapBytes := flag.Uint64("max-heap-bytes", 0,
 		"fail when any current record's peak heap exceeds this absolute byte budget (0 = no absolute gate)")
 	expFilter := flag.String("exp", "", "compare only this experiment (empty = all)")
+	maxNsOp := flag.Float64("max-ns-op", 0,
+		"microbenchmark gate: fail when the -bench-name benchmark exceeds this many ns/op (0 = artifact-diff mode)")
+	benchName := flag.String("bench-name", "PostPop",
+		"benchmark to gate in -max-ns-op mode (without the Benchmark prefix)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchdiff [flags] baseline.json current.json\n")
+			"usage: benchdiff [flags] baseline.json current.json\n"+
+				"       benchdiff -bench-name NAME -max-ns-op N bench-output.txt\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *maxNsOp > 0 {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		in := os.Stdin
+		if flag.Arg(0) != "-" {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			in = f
+		}
+		os.Exit(gateBench(in, *benchName, *maxNsOp))
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -80,8 +171,22 @@ func main() {
 		curHas[key{r.Experiment, r.Procs}] = true
 	}
 
-	fmt.Printf("%-16s %6s %14s %14s %8s %12s %8s\n",
-		"experiment", "procs", "base ev/s", "cur ev/s", "ratio", "peak heap", "heap x")
+	// setupCol / evPktCol render the blueprint-era columns; records from
+	// before the fields exist show "-".
+	setupCol := func(r experiments.BenchRecord) string {
+		if r.SetupWallSeconds <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fs", r.SetupWallSeconds)
+	}
+	evPktCol := func(r experiments.BenchRecord) string {
+		if r.Packets == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(r.Events)/float64(r.Packets))
+	}
+	fmt.Printf("%-16s %6s %14s %14s %8s %8s %7s %12s %8s\n",
+		"experiment", "procs", "base ev/s", "cur ev/s", "ratio", "setup", "ev/pkt", "peak heap", "heap x")
 	failed := false
 	compared := 0
 	onesided := 0
@@ -101,8 +206,9 @@ func main() {
 		b, ok := baseBy[key{r.Experiment, r.Procs}]
 		if !ok {
 			onesided++
-			fmt.Printf("%-16s %6d %14s %14.0f %8s %12s %8s%s\n",
-				r.Experiment, r.Procs, "(new)", r.EventsPerSec, "-", heapCol, "-", mark)
+			fmt.Printf("%-16s %6d %14s %14.0f %8s %8s %7s %12s %8s%s\n",
+				r.Experiment, r.Procs, "(new)", r.EventsPerSec, "-",
+				setupCol(r), evPktCol(r), heapCol, "-", mark)
 			continue
 		}
 		if b.EventsPerSec <= 0 {
@@ -125,8 +231,9 @@ func main() {
 				failed = true
 			}
 		}
-		fmt.Printf("%-16s %6d %14.0f %14.0f %7.2fx %12s %8s%s\n",
-			r.Experiment, r.Procs, b.EventsPerSec, r.EventsPerSec, ratio, heapCol, heapRatio, mark)
+		fmt.Printf("%-16s %6d %14.0f %14.0f %7.2fx %8s %7s %12s %8s%s\n",
+			r.Experiment, r.Procs, b.EventsPerSec, r.EventsPerSec, ratio,
+			setupCol(r), evPktCol(r), heapCol, heapRatio, mark)
 	}
 	// Baseline records with no counterpart in the current run are just as
 	// suspicious as new ones: an experiment silently vanishing from the

@@ -19,6 +19,45 @@ const (
 	SetReplyBytes     = 100
 )
 
+// setReq is one pending SET request: scheduled through kindStartSet so
+// a burst of thousands of requests costs one small struct each instead
+// of a deep closure per request.
+type setReq struct {
+	c        *CacheCluster
+	clientCh *Channel // nil for mixed-mode requests (no HTTP leg)
+	redisCh  *Channel
+	rts      []sim.Time
+	idx      int
+	start    sim.Time
+}
+
+var kindStartSet sim.EventKind
+
+func init() {
+	kindStartSet = sim.NewKind(func(_, arg any) { arg.(*setReq).run() })
+}
+
+func (rq *setReq) run() {
+	rq.start = rq.c.s.Now()
+	if rq.clientCh != nil {
+		rq.clientCh.SendAB(HTTPRequestBytes, func() {
+			rq.redisCh.SendAB(SetBytes, func() {
+				rq.redisCh.SendBA(SetReplyBytes, func() {
+					rq.clientCh.SendBA(HTTPResponseBytes, func() {
+						rq.rts[rq.idx] = rq.c.s.Now() - rq.start
+					})
+				})
+			})
+		})
+		return
+	}
+	rq.redisCh.SendAB(SetBytes, func() {
+		rq.redisCh.SendBA(SetReplyBytes, func() {
+			rq.rts[rq.idx] = rq.c.s.Now() - rq.start
+		})
+	})
+}
+
 // CacheCluster wires the paper's 10-node testbed roles onto hosts:
 // hosts[0] is the HTTP client, hosts[1..n-2] are web servers, and the
 // last host is the Redis node.
@@ -59,22 +98,15 @@ func (c *CacheCluster) newID() packet.FlowID {
 func (c *CacheCluster) RunSetBurst(numRequests int, at sim.Time) []sim.Time {
 	rts := make([]sim.Time, numRequests)
 	for r := 0; r < numRequests; r++ {
-		r := r
 		ws := c.Servers[r%len(c.Servers)]
-		clientCh := NewChannel(c.s, c.Client, ws, c.newID(), c.cfg, c.recorder)
-		redisCh := NewChannel(c.s, ws, c.Redis, c.newID(), c.cfg, c.recorder)
-		c.s.At(at, func() {
-			start := c.s.Now()
-			clientCh.SendAB(HTTPRequestBytes, func() {
-				redisCh.SendAB(SetBytes, func() {
-					redisCh.SendBA(SetReplyBytes, func() {
-						clientCh.SendBA(HTTPResponseBytes, func() {
-							rts[r] = c.s.Now() - start
-						})
-					})
-				})
-			})
-		})
+		rq := &setReq{
+			c:        c,
+			clientCh: NewChannel(c.s, c.Client, ws, c.newID(), c.cfg, c.recorder),
+			redisCh:  NewChannel(c.s, ws, c.Redis, c.newID(), c.cfg, c.recorder),
+			rts:      rts,
+			idx:      r,
+		}
+		c.s.PostKind(at, kindStartSet, 0, rq)
 	}
 	return rts
 }
@@ -109,17 +141,14 @@ func (c *CacheCluster) RunMixed(fgFlows int, bgSrc *fabric.Host, bgBytes int64, 
 	// full rate.
 	fgStart := at + 2*sim.Millisecond
 	for r := 0; r < fgFlows; r++ {
-		r := r
 		ws := c.Servers[r%len(c.Servers)]
-		redisCh := NewChannel(c.s, ws, c.Redis, c.newID(), c.cfg, c.recorder)
-		c.s.At(fgStart, func() {
-			start := c.s.Now()
-			redisCh.SendAB(SetBytes, func() {
-				redisCh.SendBA(SetReplyBytes, func() {
-					res.FgRTs[r] = c.s.Now() - start
-				})
-			})
-		})
+		rq := &setReq{
+			c:       c,
+			redisCh: NewChannel(c.s, ws, c.Redis, c.newID(), c.cfg, c.recorder),
+			rts:     res.FgRTs,
+			idx:     r,
+		}
+		c.s.PostKind(fgStart, kindStartSet, 0, rq)
 	}
 	return res
 }

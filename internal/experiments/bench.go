@@ -22,6 +22,14 @@ type BenchRecord struct {
 	AllocsPerCell  float64 `json:"allocs_per_cell"`
 	AllocMBPerCell float64 `json:"alloc_mb_per_cell"`
 
+	// SetupWallSeconds is the summed per-cell construction wall-clock
+	// (topology build, flow registration) before event loops start —
+	// the cost the fabric-blueprint cache attacks. Packets is total
+	// switch enqueues, so events/packets gives a per-packet event cost.
+	// Both absent (zero) in records from before the blueprint runner.
+	SetupWallSeconds float64 `json:"setup_wall_seconds,omitempty"`
+	Packets          uint64  `json:"packets,omitempty"`
+
 	// HeapAllocBytes is the live heap right after the run; PeakHeapBytes
 	// is the largest live heap a ~20ms sampler observed during it. Peak
 	// is the number the bounded-memory experiments gate on: a streaming
@@ -145,23 +153,25 @@ func measureOnce(e Entry, scale Scale) (BenchRecord, *Report) {
 	sched := rep.SchedStats()
 	mmuName, fcName := Policies()
 	rec := BenchRecord{
-		Experiment:     e.ID,
-		Procs:          Procs(),
-		Shards:         Shards(),
-		MMU:            mmuName,
-		FC:             fcName,
-		ShardEvents:    rep.ShardEvents(),
-		Cells:          cells,
-		Rows:           len(rep.Rows),
-		WallSeconds:    wall,
-		Events:         events,
-		HeapAllocBytes: after.HeapAlloc,
-		PeakHeapBytes:  peakHeap,
-		DeadPops:       sched.DeadPops,
-		DeadReclaimed:  sched.DeadReclaimed,
-		Cascades:       sched.Cascades,
-		Compactions:    sched.Compactions,
-		HeapMax:        sched.HeapMax,
+		Experiment:       e.ID,
+		Procs:            Procs(),
+		Shards:           Shards(),
+		MMU:              mmuName,
+		FC:               fcName,
+		ShardEvents:      rep.ShardEvents(),
+		Cells:            cells,
+		Rows:             len(rep.Rows),
+		WallSeconds:      wall,
+		Events:           events,
+		SetupWallSeconds: rep.SetupWall().Seconds(),
+		Packets:          rep.Packets(),
+		HeapAllocBytes:   after.HeapAlloc,
+		PeakHeapBytes:    peakHeap,
+		DeadPops:         sched.DeadPops,
+		DeadReclaimed:    sched.DeadReclaimed,
+		Cascades:         sched.Cascades,
+		Compactions:      sched.Compactions,
+		HeapMax:          sched.HeapMax,
 	}
 	if wall > 0 {
 		rec.EventsPerSec = float64(events) / wall

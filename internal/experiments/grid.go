@@ -285,6 +285,8 @@ func (sw *sweep) exec() {
 		sw.rep.Notes = append(sw.rep.Notes, r.Notes...)
 		sw.rep.events += r.EventsRun
 		sw.rep.sched.Add(&r.Sched)
+		sw.rep.setupWall += r.SetupWall
+		sw.rep.packets += uint64(r.Ctr.EnqGreen + r.Ctr.EnqRed)
 		for i, ev := range r.ShardEvents {
 			if i < len(sw.rep.shardEvents) {
 				sw.rep.shardEvents[i] += ev

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"tlt/internal/sim"
 )
@@ -24,6 +25,11 @@ type Report struct {
 	cells  int
 	events uint64
 	sched  sim.SchedStats
+	// setupWall sums each cell's pre-run construction wall-clock (zero
+	// for custom cells that don't report it); packets sums switch
+	// enqueues across the grid, the denominator of events-per-packet.
+	setupWall time.Duration
+	packets   uint64
 	// shardEvents sums each cell's per-shard event counts elementwise,
 	// so a bench record can show how evenly the partitioner spread the
 	// load (length = the grid's largest shard count).
@@ -44,6 +50,14 @@ func (r *Report) SchedStats() sim.SchedStats { return r.sched }
 // ShardEvents returns the per-shard event totals across the grid's cells
 // (length = the largest shard count any cell ran with).
 func (r *Report) ShardEvents() []uint64 { return r.shardEvents }
+
+// SetupWall returns the total wall-clock the grid's cells spent in
+// topology/flow construction before their event loops started.
+func (r *Report) SetupWall() time.Duration { return r.setupWall }
+
+// Packets returns the total switch enqueues (green + red) across the
+// grid — the denominator for an events-per-packet cost figure.
+func (r *Report) Packets() uint64 { return r.packets }
 
 // AddRow appends a formatted row.
 func (r *Report) AddRow(cells ...string) {

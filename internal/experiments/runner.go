@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"tlt/internal/audit"
 	"tlt/internal/chaos"
@@ -111,6 +112,11 @@ type Result struct {
 	// pops and reclamations, cascades, overflow-heap pressure).
 	Sched       sim.SchedStats
 	TrafficLast sim.Time // last flow arrival
+	// SetupWall is the host wall-clock spent building the cell — topology,
+	// flow registration, fault resolution — before its event loops start.
+	// Filled by the standard and scale runners; custom figure cells that
+	// build their own topologies leave it zero.
+	SetupWall time.Duration
 
 	// Faults aggregates injected-fault activity and audit findings.
 	Faults stats.FaultCounters
@@ -200,6 +206,7 @@ func (r *Result) ImpLossRate() float64 {
 
 // Run executes one leaf-spine simulation.
 func Run(rc RunConfig) *Result {
+	setupStart := time.Now()
 	v := rc.Variant
 
 	shards := rc.Shards
@@ -358,6 +365,7 @@ func Run(rc RunConfig) *Result {
 		workers = shards
 	}
 	g.SetWorkers(workers)
+	setupWall := time.Since(setupStart)
 	end := g.Run(horizon)
 	net.FinishPausedClocks()
 
@@ -383,6 +391,7 @@ func Run(rc RunConfig) *Result {
 		Incomplete:  int(remaining.Load()),
 		QSamples:    qSamples,
 		TrafficLast: last,
+		SetupWall:   setupWall,
 	}
 	res.ShardEvents = make([]uint64, shards)
 	for i := 0; i < shards; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"tlt/internal/app"
 	"tlt/internal/chaos"
@@ -294,6 +295,7 @@ func (w *scaleWalker) spawnReceiver(a workload.Arrival, id packet.FlowID) {
 // runScale executes one scale-sweep cell. It parallels Run but swaps
 // the materialized schedule + Recorder for per-shard walkers + Streams.
 func runScale(rc RunConfig, p scaleParams) *Result {
+	setupStart := time.Now()
 	v := rc.Variant
 	if v.Transport != "tcp" && v.Transport != "dctcp" {
 		panic("scale-sweep: only the TCP family is wired for streaming runs, got " + v.Transport)
@@ -408,6 +410,7 @@ func runScale(rc RunConfig, p scaleParams) *Result {
 		workers = shards
 	}
 	g.SetWorkers(workers)
+	setupWall := time.Since(setupStart)
 	end := g.Run(horizon)
 	net.FinishPausedClocks()
 
@@ -441,6 +444,7 @@ func runScale(rc RunConfig, p scaleParams) *Result {
 		FlowCount:   int(total),
 		Incomplete:  int(remaining.Load()),
 		TrafficLast: last,
+		SetupWall:   setupWall,
 		App:         agg,
 	}
 	res.ShardEvents = make([]uint64, shards)

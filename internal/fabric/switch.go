@@ -148,9 +148,18 @@ func (c *Counters) TotalDrops() int64 {
 	return c.DropRedColor + c.DropDynamic + c.DropBufferFull + c.DropPolicy
 }
 
+// swEnt is one queued packet plus the byte accounting popFront needs:
+// carrying size and color in the FIFO entry keeps the pop path off the
+// packet's (long since evicted) cache line.
+type swEnt struct {
+	pkt *packet.Packet
+	sz  int32
+	red bool
+}
+
 // swQueue is one egress FIFO (one traffic class of one port).
 type swQueue struct {
-	queue []*packet.Packet // FIFO; head at index pop
+	queue []swEnt // FIFO; head at index pop
 	pop   int
 	bytes int64 // current depth in bytes
 	red   int64 // red bytes currently queued
@@ -162,9 +171,10 @@ type swQueue struct {
 // push appends pkt to the FIFO. The caller passes the wire size (already
 // computed for admission) so the hot path sizes each packet exactly once.
 func (q *swQueue) push(pkt *packet.Packet, sz int64) {
-	q.queue = append(q.queue, pkt)
+	red := pkt.Mark.Color() == packet.Red
+	q.queue = append(q.queue, swEnt{pkt: pkt, sz: int32(sz), red: red})
 	q.bytes += sz
-	if pkt.Mark.Color() == packet.Red {
+	if red {
 		q.red += sz
 	}
 	if q.bytes > q.maxBytes {
@@ -175,14 +185,14 @@ func (q *swQueue) push(pkt *packet.Packet, sz int64) {
 	}
 }
 
-// popFront removes and returns the head packet and its wire size
-// (re-derived here once, then reused by the dequeue accounting).
+// popFront removes and returns the head packet and its wire size (stored
+// at push time, then reused by the dequeue accounting).
 func (q *swQueue) popFront() (*packet.Packet, int64) {
 	if q.pop >= len(q.queue) {
 		return nil, 0
 	}
-	pkt := q.queue[q.pop]
-	q.queue[q.pop] = nil
+	e := q.queue[q.pop]
+	q.queue[q.pop] = swEnt{}
 	q.pop++
 	if q.pop == len(q.queue) {
 		q.queue = q.queue[:0]
@@ -192,12 +202,12 @@ func (q *swQueue) popFront() (*packet.Packet, int64) {
 		q.queue = q.queue[:n]
 		q.pop = 0
 	}
-	sz := int64(pkt.WireSize())
+	sz := int64(e.sz)
 	q.bytes -= sz
-	if pkt.Mark.Color() == packet.Red {
+	if e.red {
 		q.red -= sz
 	}
-	return pkt, sz
+	return e.pkt, sz
 }
 
 // swPort is one egress port: a set of class queues behind a transmitter.
@@ -210,8 +220,10 @@ type swPort struct {
 	qs []swQueue
 	rr int // round-robin pointer over classes
 
-	wdPending     bool     // a watchdog check event is outstanding
-	wdIgnoreUntil sim.Time // PAUSE frames ignored until then (mitigation)
+	wdPending     bool       // a watchdog check event is outstanding
+	wdIgnoreUntil sim.Time   // PAUSE frames ignored until then (mitigation)
+	wdEv          *sim.Event // preallocated watchdog check (lazily created)
+	wdTimer       sim.Timer  // handle to the outstanding check (reboot cancels)
 }
 
 func (p *swPort) totalBytes() int64 {
@@ -263,6 +275,15 @@ type Switch struct {
 	// O(hosts) per switch.
 	routes    [][]int
 	routeBase int
+
+	// route1 mirrors routes with the unicast fast path: entry d holds
+	// the egress port when destination d's group has exactly one member,
+	// else -1 (ECMP group, empty, missing). The common single-port
+	// lookup is then one dense int32 load instead of a slice-header
+	// load plus a group-element dereference. Shared-table installs pass
+	// a precomputed projection so the O(hosts) flat array, like the
+	// table itself, exists once per forwarding-equivalence class.
+	route1 []int32
 
 	// defaultRoute, when non-empty, is the ECMP group used for any
 	// destination with no specific routes entry. Large Clos builders
@@ -425,8 +446,14 @@ func (sw *Switch) SetRoute(dst packet.NodeID, egress []int) {
 	d := int(dst) - sw.routeBase
 	for d >= len(sw.routes) {
 		sw.routes = append(sw.routes, nil)
+		sw.route1 = append(sw.route1, -1)
 	}
 	sw.routes[d] = egress
+	if len(egress) == 1 {
+		sw.route1[d] = int32(egress[0])
+	} else {
+		sw.route1[d] = -1
+	}
 }
 
 // SetRouteTable installs a whole routing table at once. The slice may
@@ -435,7 +462,10 @@ func (sw *Switch) SetRoute(dst packet.NodeID, egress []int) {
 // dominant O(switches × hosts) FIB cost of big Clos fabrics to one
 // table per equivalence class. Shared tables must not be mutated
 // afterward via SetRoute/reroute.
-func (sw *Switch) SetRouteTable(table [][]int) { sw.routes, sw.routeBase = table, 0 }
+func (sw *Switch) SetRouteTable(table [][]int) {
+	sw.routes, sw.routeBase = table, 0
+	sw.route1 = FlatRoutes(table)
+}
 
 // SetRouteTableAt installs a routing table covering destinations
 // [base, base+len(table)); anything outside falls through to the
@@ -444,6 +474,31 @@ func (sw *Switch) SetRouteTable(table [][]int) { sw.routes, sw.routeBase = table
 // O(all hosts) of nil-prefix padding.
 func (sw *Switch) SetRouteTableAt(base packet.NodeID, table [][]int) {
 	sw.routes, sw.routeBase = table, int(base)
+	sw.route1 = FlatRoutes(table)
+}
+
+// SetRouteTableFlatAt is SetRouteTableAt for callers that precomputed
+// the table's FlatRoutes projection: switches sharing one table (one
+// forwarding-equivalence class) then also share one flat array instead
+// of each deriving an O(hosts) copy.
+func (sw *Switch) SetRouteTableFlatAt(base packet.NodeID, table [][]int, flat []int32) {
+	sw.routes, sw.routeBase = table, int(base)
+	sw.route1 = flat
+}
+
+// FlatRoutes computes the unicast projection of a routing table: the
+// egress port for every single-port group, -1 elsewhere. The result may
+// be shared between switches exactly like the table it was derived from.
+func FlatRoutes(table [][]int) []int32 {
+	flat := make([]int32, len(table))
+	for i, g := range table {
+		if len(g) == 1 {
+			flat[i] = int32(g[0])
+		} else {
+			flat[i] = -1
+		}
+	}
+	return flat
 }
 
 // SetDefaultRoute installs the ECMP group used when a destination has
@@ -503,8 +558,17 @@ func (sw *Switch) Receive(pkt *packet.Packet, inPort int) {
 		return
 	}
 
+	d := int(pkt.Dst) - sw.routeBase
+	if uint(d) < uint(len(sw.route1)) {
+		if p := sw.route1[d]; p >= 0 {
+			// Unicast fast path: the destination resolves to exactly
+			// one egress port, read from the dense projection.
+			sw.enqueue(pkt, inPort, int(p))
+			return
+		}
+	}
 	group := sw.defaultRoute
-	if d := int(pkt.Dst) - sw.routeBase; d >= 0 && d < len(sw.routes) {
+	if d >= 0 && d < len(sw.routes) {
 		if g := sw.routes[d]; len(g) > 0 {
 			group = g
 		}
@@ -615,7 +679,10 @@ func (sw *Switch) dequeue(port int) (*packet.Packet, int) {
 	for i := 0; i < len(p.qs); i++ {
 		cls := p.rr
 		q := &p.qs[cls]
-		p.rr = (p.rr + 1) % len(p.qs)
+		p.rr++
+		if p.rr == len(p.qs) {
+			p.rr = 0
+		}
 		if pkt, size = q.popFront(); pkt != nil {
 			tc = cls
 			break
@@ -650,7 +717,10 @@ func (sw *Switch) pauseRx(port int) {
 	}
 	if sw.cfg.PFCWatchdog && !p.wdPending {
 		p.wdPending = true
-		sw.sim.At(sw.sim.Now()+sw.cfg.WatchdogThreshold, func() { sw.watchdogCheck(port) })
+		if p.wdEv == nil {
+			p.wdEv = sw.sim.NewKindEvent(kindWatchdogCheck, 0, &wdRef{sw: sw, port: port})
+		}
+		p.wdTimer = sw.sim.ScheduleTimer(p.wdEv, sw.sim.Now()+sw.cfg.WatchdogThreshold)
 	}
 }
 
@@ -676,7 +746,7 @@ func (sw *Switch) watchdogCheck(port int) {
 	since := p.tx.PausedSince()
 	if sw.sim.Now()-since < sw.cfg.WatchdogThreshold {
 		p.wdPending = true
-		sw.sim.At(since+sw.cfg.WatchdogThreshold, func() { sw.watchdogCheck(port) })
+		p.wdTimer = sw.sim.ScheduleTimer(p.wdEv, since+sw.cfg.WatchdogThreshold)
 		return
 	}
 	// Drop-and-unpause: everything queued behind the stuck port is
@@ -762,6 +832,9 @@ func (sw *Switch) Reboot() {
 	}
 	for _, p := range sw.ports {
 		p.wdPending = false
+		// The check event may still be outstanding from before the
+		// failure; cancel it so the fresh watchdog state can re-arm.
+		p.wdTimer.Stop()
 		p.wdIgnoreUntil = 0
 		p.tx.Resume() // received-pause state was lost with the reboot
 		p.tx.Unfreeze()

@@ -26,6 +26,27 @@ func SerTime(size int, rateBps int64) sim.Time {
 	return sim.Time((bits*int64(sim.Second) + rateBps - 1) / rateBps)
 }
 
+// Typed event kinds for the fabric hot paths: every wire arrival, Tx
+// serialization completion and pause expiry in the network fires through
+// one of these static handlers instead of a per-object closure. Kind
+// values play no part in (time, seq) ordering, so registration order is
+// irrelevant to determinism.
+var (
+	kindWireArrive = sim.NewKind(func(tgt, arg any) {
+		tgt.(*Wire).arrive(arg.(*packet.Packet))
+	})
+	kindTxSerDone = sim.NewKind(func(_, arg any) {
+		arg.(*Tx).serDone()
+	})
+	kindTxPauseExpiry = sim.NewKind(func(_, arg any) {
+		arg.(*Tx).pauseExpiryCheck()
+	})
+	kindWatchdogCheck = sim.NewKind(func(_, arg any) {
+		r := arg.(*wdRef)
+		r.sw.watchdogCheck(r.port)
+	})
+)
+
 // geLoss is a two-state Gilbert–Elliott Markov loss process: the channel
 // alternates between a good and a bad state with per-packet transition
 // probabilities, and drops packets with a state-dependent probability.
@@ -66,12 +87,12 @@ func (g *geLoss) drop() bool {
 // permutes same-instant arrivals relative to the seed scheduler and
 // breaks the byte-identical-reports contract.
 type Wire struct {
-	sim    *sim.Sim
-	delay  sim.Time
-	to     Device
-	toPort int
-
-	deliverFn func(any) // stored once to avoid per-packet closures
+	// Field order is deliberate: everything Deliver touches per packet
+	// (sim, delay, group routing state, the down/hasLoss gates) packs
+	// into the leading cache line; loss-model details and counters live
+	// behind the hasLoss gate and stay cold.
+	sim   *sim.Sim
+	delay sim.Time
 
 	// group, when set, routes arrivals through the shard group's
 	// mailboxes instead of posting directly: the destination device
@@ -84,8 +105,13 @@ type Wire struct {
 	group    *sim.Group
 	srcShard int
 	dstShard int
-	id       uint32
-	seq      uint32
+
+	// tgt is the wire's dispatch-target id, registered on the simulator
+	// that executes its arrivals (the destination shard's sim when the
+	// wire crosses the group mailboxes).
+	tgt uint32
+	id  uint32
+	seq uint32
 
 	// down marks the source half of a dead link: everything handed to
 	// the wire is lost. It is owned by the source shard.
@@ -95,6 +121,13 @@ type Wire struct {
 	// by the destination shard, so a cross-shard link can be killed at
 	// the same simulated instant on both sides without a data race.
 	arrDown bool
+	// hasLoss caches whether ANY loss model (uniform, Gilbert–Elliott,
+	// drop filter) is installed, so the common lossless wire pays one
+	// boolean test instead of three cold-field checks per delivery.
+	hasLoss bool
+
+	to     Device
+	toPort int
 
 	// Random non-congestion loss injection (cabling faults, silent
 	// corruption): every packet is dropped with probability lossRate.
@@ -118,16 +151,43 @@ type Wire struct {
 }
 
 func newWire(s *sim.Sim, delay sim.Time, to Device, toPort int) *Wire {
-	w := &Wire{sim: s, delay: delay, to: to, toPort: toPort}
-	w.deliverFn = func(a any) {
-		if w.arrDown {
-			// The link died while this packet was in flight.
-			w.arrDownDropped++
-			return
-		}
-		w.to.Receive(a.(*packet.Packet), w.toPort)
+	return &Wire{sim: s, delay: delay, to: to, toPort: toPort}
+}
+
+// dropLossy runs the configured loss models against one packet and
+// reports whether it was consumed. Only called when hasLoss is set.
+func (w *Wire) dropLossy(pkt *packet.Packet) bool {
+	if w.lossRate > 0 && w.lossRng.Float64() < w.lossRate {
+		w.Dropped++
+		return true
 	}
-	return w
+	if w.ge != nil && w.ge.drop() {
+		w.GEDropped++
+		return true
+	}
+	if w.dropFilter != nil && w.dropFilter(pkt) {
+		w.Dropped++
+		return true
+	}
+	return false
+}
+
+// syncHasLoss recomputes the Deliver fast-path gate after a loss-model
+// setter runs.
+func (w *Wire) syncHasLoss() {
+	w.hasLoss = w.lossRate > 0 || w.ge != nil || w.dropFilter != nil
+}
+
+// arrive lands a fully-propagated packet on the destination port. It is
+// the kindWireArrive handler body and always runs on the simulator the
+// wire registered with (the destination shard for mailboxed wires).
+func (w *Wire) arrive(pkt *packet.Packet) {
+	if w.arrDown {
+		// The link died while this packet was in flight.
+		w.arrDownDropped++
+		return
+	}
+	w.to.Receive(pkt, w.toPort)
 }
 
 // Deliver schedules arrival of a fully-serialized packet after the
@@ -140,25 +200,16 @@ func (w *Wire) Deliver(pkt *packet.Packet) {
 		w.DownDropped++
 		return
 	}
-	if w.lossRate > 0 && w.lossRng.Float64() < w.lossRate {
-		w.Dropped++
-		return
-	}
-	if w.ge != nil && w.ge.drop() {
-		w.GEDropped++
-		return
-	}
-	if w.dropFilter != nil && w.dropFilter(pkt) {
-		w.Dropped++
+	if w.hasLoss && w.dropLossy(pkt) {
 		return
 	}
 	if w.group != nil {
 		w.seq++
 		key := uint64(w.id)<<32 | uint64(w.seq)
-		w.group.Send(w.srcShard, w.dstShard, w.sim.Now()+w.delay, key, w.deliverFn, pkt)
+		w.group.SendKind(w.srcShard, w.dstShard, w.sim.Now()+w.delay, key, kindWireArrive, w.tgt, pkt)
 		return
 	}
-	w.sim.PostArg(w.sim.Now()+w.delay, w.deliverFn, pkt)
+	w.sim.PostKind(w.sim.Now()+w.delay, kindWireArrive, w.tgt, pkt)
 }
 
 // Tx serializes packets onto a wire at a fixed line rate, honoring PFC
@@ -187,7 +238,7 @@ type Tx struct {
 	pauseTimeout sim.Time
 	pauseExpiry  sim.Time
 	expiryArmed  bool
-	expireFn     func()
+	pauseEv      *sim.Event // preallocated expiry event (lazily created)
 	// PauseExpires counts pauses released by the timeout rather than an
 	// explicit RESUME.
 	PauseExpires int64
@@ -205,12 +256,44 @@ type Tx struct {
 
 	cur *packet.Packet // packet currently serializing
 	ev  *sim.Event     // preallocated serialization-done event
+
+	// ser0/ser1 memoize SerTime for the two wire sizes that dominate
+	// any run (MSS-sized data and minimum-size ACKs), replacing a
+	// 64-bit division per frame with an integer compare. serRate guards
+	// the cache against a caller changing RateBps mid-run.
+	ser0Size, ser1Size int
+	ser0, ser1         sim.Time
+	serRate            int64
 }
 
-// txSerDone is the monomorphic handler behind every Tx's preallocated
-// event: one self-rescheduling event per port direction drives the whole
-// serialization pipeline without allocating.
-func txSerDone(a any) { a.(*Tx).serDone() }
+// serTimeFor returns SerTime(size, tx.RateBps) through the two-entry
+// memo. Wire sizes are never zero, so the zero value is an empty cache.
+func (tx *Tx) serTimeFor(size int) sim.Time {
+	if tx.serRate != tx.RateBps {
+		tx.serRate = tx.RateBps
+		tx.ser0Size, tx.ser1Size = 0, 0
+	}
+	if size == tx.ser0Size {
+		return tx.ser0
+	}
+	if size == tx.ser1Size {
+		tx.ser0Size, tx.ser1Size = tx.ser1Size, tx.ser0Size
+		tx.ser0, tx.ser1 = tx.ser1, tx.ser0
+		return tx.ser0
+	}
+	tx.ser1Size, tx.ser1 = tx.ser0Size, tx.ser0
+	tx.ser0Size = size
+	tx.ser0 = SerTime(size, tx.RateBps)
+	return tx.ser0
+}
+
+// wdRef binds a switch's PFC watchdog check to one port; one is created
+// per watched port so the recurring check fires through kindWatchdogCheck
+// without a closure per arm.
+type wdRef struct {
+	sw   *Switch
+	port int
+}
 
 // blocked reports whether the transmitter may not start a new frame.
 func (tx *Tx) blocked() bool { return tx.paused || tx.down || tx.frozen }
@@ -233,7 +316,7 @@ func (tx *Tx) startNext() {
 	}
 	tx.busy = true
 	tx.cur = pkt
-	tx.sim.Schedule(tx.ev, tx.sim.Now()+SerTime(size, tx.RateBps))
+	tx.sim.Schedule(tx.ev, tx.sim.Now()+tx.serTimeFor(size))
 }
 
 func (tx *Tx) serDone() {
@@ -255,7 +338,7 @@ func (tx *Tx) Pause() {
 		tx.pauseExpiry = tx.sim.Now() + tx.pauseTimeout
 		if !tx.expiryArmed {
 			tx.expiryArmed = true
-			tx.sim.At(tx.pauseExpiry, tx.expireFn)
+			tx.sim.Schedule(tx.pauseEv, tx.pauseExpiry)
 		}
 	}
 	if tx.paused {
@@ -291,8 +374,8 @@ func (tx *Tx) PausedSince() sim.Time { return tx.pausedSince }
 // otherwise never transmit again.
 func (tx *Tx) SetPauseTimeout(d sim.Time) {
 	tx.pauseTimeout = d
-	if d > 0 && tx.expireFn == nil {
-		tx.expireFn = tx.pauseExpiryCheck
+	if d > 0 && tx.pauseEv == nil {
+		tx.pauseEv = tx.sim.NewKindEvent(kindTxPauseExpiry, 0, tx)
 	}
 }
 
@@ -306,7 +389,7 @@ func (tx *Tx) pauseExpiryCheck() {
 	now := tx.sim.Now()
 	if now < tx.pauseExpiry {
 		tx.expiryArmed = true
-		tx.sim.At(tx.pauseExpiry, tx.expireFn)
+		tx.sim.Schedule(tx.pauseEv, tx.pauseExpiry)
 		return
 	}
 	tx.PauseExpires++
@@ -324,6 +407,7 @@ func (tx *Tx) InjectLoss(rate float64, rng *sim.RNG) {
 	}
 	tx.wire.lossRate = rate
 	tx.wire.lossRng = rng
+	tx.wire.syncHasLoss()
 }
 
 // InjectGilbertElliott puts a two-state bursty loss channel on this
@@ -334,6 +418,7 @@ func (tx *Tx) InjectLoss(rate float64, rng *sim.RNG) {
 func (tx *Tx) InjectGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64, rng *sim.RNG) {
 	if lossBad <= 0 && lossGood <= 0 {
 		tx.wire.ge = nil
+		tx.wire.syncHasLoss()
 		return
 	}
 	if rng == nil {
@@ -344,6 +429,7 @@ func (tx *Tx) InjectGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64
 		lossGood: lossGood, lossBad: lossBad,
 		rng: rng,
 	}
+	tx.wire.syncHasLoss()
 }
 
 // SetLinkDown kills this direction of the link: serialization stops
@@ -447,6 +533,7 @@ func (tx *Tx) BurstyDrops() int64 { return tx.wire.GEDropped }
 // Figure 3/4 loss sequences exactly.
 func (tx *Tx) DropWhen(fn func(*packet.Packet) bool) {
 	tx.wire.dropFilter = fn
+	tx.wire.syncHasLoss()
 }
 
 // FinishPausedClock folds an open pause interval into PausedTotal at the
@@ -471,8 +558,10 @@ func (tx *Tx) DeliverControl(pkt *packet.Packet) {
 func Connect(s *sim.Sim, a Device, ap int, b Device, bp int, rateBps int64, delay sim.Time) (atx, btx *Tx) {
 	atx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, b, bp)}
 	btx = &Tx{sim: s, RateBps: rateBps, wire: newWire(s, delay, a, ap)}
-	atx.ev = s.NewEvent(txSerDone, atx)
-	btx.ev = s.NewEvent(txSerDone, btx)
+	atx.wire.tgt = s.RegisterTarget(atx.wire)
+	btx.wire.tgt = s.RegisterTarget(btx.wire)
+	atx.ev = s.NewKindEvent(kindTxSerDone, 0, atx)
+	btx.ev = s.NewKindEvent(kindTxSerDone, 0, btx)
 	a.attach(ap, atx)
 	b.attach(bp, btx)
 	return atx, btx
@@ -496,8 +585,12 @@ func ConnectSharded(g *sim.Group, a Device, ap, ashard int, b Device, bp, bshard
 	btx.wire.group, btx.wire.id = g, wireBase+1
 	atx.SetShards(ashard, bshard)
 	btx.SetShards(bshard, ashard)
-	atx.ev = sa.NewEvent(txSerDone, atx)
-	btx.ev = sb.NewEvent(txSerDone, btx)
+	// A mailboxed wire's arrivals execute on the destination shard, so
+	// the target id must come from that shard's simulator.
+	atx.wire.tgt = sb.RegisterTarget(atx.wire)
+	btx.wire.tgt = sa.RegisterTarget(btx.wire)
+	atx.ev = sa.NewKindEvent(kindTxSerDone, 0, atx)
+	btx.ev = sb.NewKindEvent(kindTxSerDone, 0, btx)
 	a.attach(ap, atx)
 	b.attach(bp, btx)
 	return atx, btx

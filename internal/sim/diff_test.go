@@ -265,6 +265,128 @@ func TestDifferentialAgainstSeedHeap(t *testing.T) {
 	}
 }
 
+// --- typed dispatch vs closures ---
+
+// diffTestKind fires through the registered-target table: tgt resolves
+// to the test's diffTgt and arg carries the event id, the same shape
+// the fabric's wire-arrival events use. Assigned in init because the
+// handler's callee schedules through the kind (same knot the transport
+// packages untie the same way).
+var diffTestKind EventKind
+
+func init() {
+	diffTestKind = NewKind(func(tgt, arg any) {
+		tgt.(*diffTgt).fire(arg.(int))
+	})
+}
+
+type diffTgt struct {
+	s     *Sim
+	log   *[]fireRec
+	tgtID uint32
+}
+
+func (d *diffTgt) fire(id int) {
+	*d.log = append(*d.log, fireRec{at: d.s.Now(), id: id})
+	if id >= 0 && id%5 == 0 {
+		// Children go through PostKind too, exercising typed scheduling
+		// from inside a typed handler mid-Run.
+		d.s.PostKind(d.s.Now()+Time(id%97), diffTestKind, d.tgtID, -(1_000_000 + id))
+	}
+}
+
+// TestTypedDispatchMatchesClosures drives two Sims through identical
+// randomized schedule / cancel / run scripts — one entirely through
+// closures (Post/At), one entirely through typed events (PostKind,
+// NewKindEvent + ScheduleTimer) — and asserts every event fires at the
+// same (time, id) in the same total order. Each schedule call consumes
+// exactly one sequence number on both sides, so identical (time, id)
+// logs prove the typed path preserves (time, seq) order, the property
+// the byte-identical-reports contract rests on.
+func TestTypedDispatchMatchesClosures(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			cls := New()
+			typ := New()
+			var clsLog, typLog []fireRec
+			tgt := &diffTgt{s: typ, log: &typLog}
+			tgt.tgtID = typ.RegisterTarget(tgt)
+
+			type handlePair struct {
+				ct, tt Timer
+				id     int
+			}
+			var handles []handlePair
+			nextID := 0
+
+			var mkCls func(id int) func()
+			mkCls = func(id int) func() {
+				return func() {
+					clsLog = append(clsLog, fireRec{at: cls.Now(), id: id})
+					if id >= 0 && id%5 == 0 {
+						cls.Post(cls.Now()+Time(id%97), mkCls(-(1_000_000 + id)))
+					}
+				}
+			}
+			schedule := func(id int, at Time, cancellable bool) {
+				if cancellable {
+					ct := cls.At(at, mkCls(id))
+					tt := typ.ScheduleTimer(typ.NewKindEvent(diffTestKind, tgt.tgtID, id), at)
+					handles = append(handles, handlePair{ct: ct, tt: tt, id: id})
+				} else {
+					cls.Post(at, mkCls(id))
+					typ.PostKind(at, diffTestKind, tgt.tgtID, id)
+				}
+			}
+
+			const rounds = 40
+			for round := 0; round < rounds; round++ {
+				for n := r.Intn(60); n > 0; n-- {
+					at := cls.Now() + genDelta(r)
+					schedule(nextID, at, r.Intn(2) == 0)
+					nextID++
+				}
+				for n := r.Intn(1 + len(handles)/3); n > 0; n-- {
+					h := handles[r.Intn(len(handles))]
+					if h.ct.Pending() != h.tt.Pending() {
+						t.Fatalf("id %d: closure Pending=%v typed Pending=%v",
+							h.id, h.ct.Pending(), h.tt.Pending())
+					}
+					cs, ts := h.ct.Stop(), h.tt.Stop()
+					if cs != ts {
+						t.Fatalf("id %d: closure Stop=%v typed Stop=%v", h.id, cs, ts)
+					}
+				}
+				until := cls.Now() + genDelta(r)
+				cNow, tNow := cls.Run(until), typ.Run(until)
+				if cNow != tNow {
+					t.Fatalf("round %d: closure now %v, typed now %v", round, cNow, tNow)
+				}
+				if cls.Pending() != typ.Pending() {
+					t.Fatalf("round %d: closure Pending()=%d, typed Pending()=%d",
+						round, cls.Pending(), typ.Pending())
+				}
+			}
+
+			const horizon = Time(1) << 62
+			cls.Run(horizon)
+			typ.Run(horizon)
+
+			if len(clsLog) != len(typLog) {
+				t.Fatalf("fired %d events on closure sim, %d on typed sim", len(clsLog), len(typLog))
+			}
+			for i := range clsLog {
+				if clsLog[i] != typLog[i] {
+					t.Fatalf("firing %d diverges: closure (%v, id %d), typed (%v, id %d)",
+						i, clsLog[i].at, clsLog[i].id, typLog[i].at, typLog[i].id)
+				}
+			}
+		})
+	}
+}
+
 // liveCount recomputes the reference's live (scheduled, non-cancelled)
 // event count from its heap, the ground truth Sim.Pending must match.
 func liveCount(s *refSim) int {

@@ -22,14 +22,17 @@ import (
 	"sync/atomic"
 )
 
-// xfer is one cross-shard hand-off: a callback to inject into the
-// destination shard at the next window barrier.
+// xfer is one cross-shard hand-off: a callback (or typed kind+target
+// pair, for hot paths like wire delivery) to inject into the destination
+// shard at the next window barrier.
 type xfer struct {
-	at  Time
-	key uint64
-	fn  func(any)
-	arg any
-	dst int32
+	at   Time
+	key  uint64
+	fn   func(any)
+	arg  any
+	dst  int32
+	tgt  uint32
+	kind EventKind
 }
 
 // Group synchronizes N shard simulators with conservative time windows.
@@ -103,6 +106,13 @@ func (g *Group) Send(src, dst int, at Time, key uint64, fn func(any), arg any) {
 	g.out[src] = append(g.out[src], xfer{at: at, key: key, fn: fn, arg: arg, dst: int32(dst)})
 }
 
+// SendKind queues a typed hand-off: the kind's handler fires on dst at
+// absolute time at with (target, arg), where tgt was registered on the
+// DESTINATION shard's simulator. Ordering semantics match Send.
+func (g *Group) SendKind(src, dst int, at Time, key uint64, k EventKind, tgt uint32, arg any) {
+	g.out[src] = append(g.out[src], xfer{at: at, key: key, kind: k, tgt: tgt, arg: arg, dst: int32(dst)})
+}
+
 // RequestStop asks the group to stop at the next window barrier. Safe
 // to call from any shard mid-window; the run ends only at a barrier so
 // every shard stops at the same boundary.
@@ -150,6 +160,29 @@ func (g *Group) Run(horizon Time) Time {
 // (at, key) order. Hand-offs always target a strictly later window, so
 // injection cannot schedule into a shard's past.
 func (g *Group) inject() {
+	if len(g.shards) == 1 {
+		// Single shard: every hand-off targets shard 0 and the outbox
+		// already holds them in send order, so sort and post in place —
+		// the same sequence the pend copy would produce.
+		p := g.out[0]
+		if len(p) == 0 {
+			return
+		}
+		sortXfers(p)
+		s := g.shards[0]
+		for j := range p {
+			if p[j].kind != kindFnArg {
+				s.PostKind(p[j].at, p[j].kind, p[j].tgt, p[j].arg)
+			} else {
+				s.PostArg(p[j].at, p[j].fn, p[j].arg)
+			}
+		}
+		for j := range p {
+			p[j].fn, p[j].arg = nil, nil // don't pin pooled packets
+		}
+		g.out[0] = p[:0]
+		return
+	}
 	for i := range g.pend {
 		g.pend[i] = g.pend[i][:0]
 	}
@@ -171,7 +204,11 @@ func (g *Group) inject() {
 		sortXfers(p)
 		s := g.shards[d]
 		for j := range p {
-			s.PostArg(p[j].at, p[j].fn, p[j].arg)
+			if p[j].kind != kindFnArg {
+				s.PostKind(p[j].at, p[j].kind, p[j].tgt, p[j].arg)
+			} else {
+				s.PostArg(p[j].at, p[j].fn, p[j].arg)
+			}
 		}
 		for j := range p {
 			p[j].fn, p[j].arg = nil, nil

@@ -55,6 +55,7 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // node is reused because the event's seq acts as a generation counter —
 // a handle whose seq no longer matches its node is simply stale.
 type Timer struct {
+	sim *Sim
 	ev  *Event
 	seq uint64
 }
@@ -69,8 +70,8 @@ func (t Timer) Stop() bool {
 	if ev == nil || ev.seq != t.seq {
 		return false
 	}
-	s := ev.sim
-	switch ev.where {
+	s := t.sim
+	switch ev.state() {
 	case evWheel:
 		s.unlink(ev)
 		s.live--
@@ -78,7 +79,7 @@ func (t Timer) Stop() bool {
 		s.release(ev)
 		return true
 	case evHeap:
-		ev.where = evDead
+		ev.setState(evDead)
 		s.live--
 		s.heapDead++
 		s.maybeCompact()
@@ -147,6 +148,10 @@ type Sim struct {
 
 	free *Event
 
+	// targets interns long-lived typed-dispatch targets (RegisterTarget);
+	// index 0 is reserved for "no target".
+	targets []any
+
 	// Processed counts events executed, for performance accounting.
 	Processed uint64
 	// Sched exposes scheduler-internal counters.
@@ -167,11 +172,8 @@ func (s *Sim) alloc() *Event {
 	ev := s.free
 	if ev == nil {
 		chunk := make([]Event, 128)
-		for i := range chunk {
-			chunk[i].sim = s
-			if i > 0 {
-				chunk[i-1].next = &chunk[i]
-			}
+		for i := 1; i < len(chunk); i++ {
+			chunk[i-1].next = &chunk[i]
 		}
 		ev = &chunk[0]
 	}
@@ -182,12 +184,18 @@ func (s *Sim) alloc() *Event {
 
 // release returns a finished event to the pool (or just idles an external
 // one), clearing captured references so they do not leak past the fire.
+// External events keep their payload binding by design (it is their
+// owner's, installed once at NewEvent/NewKindEvent); pooled events must
+// drop every reference and reset kind/tgt so a recycled node cannot pin
+// app objects or dispatch through a stale kind.
 func (s *Sim) release(ev *Event) {
-	ev.where = evFree
-	if ev.ext {
+	if ev.isExt() {
+		ev.setState(evFree)
 		return
 	}
-	ev.fn, ev.fnArg, ev.arg = nil, nil, nil
+	ev.where = evFree
+	ev.fn, ev.arg = nil, nil
+	ev.kind, ev.tgt = 0, 0
 	ev.prev = nil
 	ev.next = s.free
 	s.free = ev
@@ -207,9 +215,12 @@ func (s *Sim) schedule(ev *Event, at Time) {
 }
 
 // Post schedules fn at absolute time at with no cancellation handle.
+// The func value rides in arg (funcs are pointer-shaped, so the boxing
+// is allocation-free) and fires through the builtin kindFunc.
 func (s *Sim) Post(at Time, fn func()) {
 	ev := s.alloc()
-	ev.fn = fn
+	ev.kind = kindFunc
+	ev.arg = fn
 	s.schedule(ev, at)
 }
 
@@ -217,7 +228,7 @@ func (s *Sim) Post(at Time, fn func()) {
 // handle and no closure allocation.
 func (s *Sim) PostArg(at Time, fn func(any), arg any) {
 	ev := s.alloc()
-	ev.fnArg = fn
+	ev.fn = fn
 	ev.arg = arg
 	s.schedule(ev, at)
 }
@@ -226,9 +237,10 @@ func (s *Sim) PostArg(at Time, fn func(any), arg any) {
 // cancellable handle.
 func (s *Sim) At(at Time, fn func()) Timer {
 	ev := s.alloc()
-	ev.fn = fn
+	ev.kind = kindFunc
+	ev.arg = fn
 	s.schedule(ev, at)
-	return Timer{ev: ev, seq: ev.seq}
+	return Timer{sim: s, ev: ev, seq: ev.seq}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -241,7 +253,7 @@ func (s *Sim) After(d Time, fn func()) Timer {
 // handler (self-rescheduling), and it is never taken by the node pool, so
 // per-packet hot paths built on it allocate nothing and box nothing.
 func (s *Sim) NewEvent(fn func(any), arg any) *Event {
-	return &Event{sim: s, ext: true, fnArg: fn, arg: arg}
+	return &Event{where: evExt, fn: fn, arg: arg}
 }
 
 // Schedule queues a preallocated event at absolute time at. Scheduling an
@@ -260,6 +272,14 @@ func (s *Sim) Stop() { s.stopped = true }
 // Run executes events until the queue empties, Stop is called, or the
 // event horizon passes until (exclusive). It returns the simulation time
 // at exit.
+//
+// The loop drains one level-0 slot per peek: a level-0 slot is 1 ns
+// wide, so every event in it shares the instant t and the slot list is
+// already in seq order. Draining the whole chain after a single
+// peek/advanceTo amortizes the bitmap scan and cascade checks over the
+// batch instead of paying them per event. Same-instant events scheduled
+// by a handler append to the tail (with a higher seq) and fire within
+// the same batch, so the firing order remains exactly (time, seq).
 func (s *Sim) Run(until Time) Time {
 	s.stopped = false
 	for !s.stopped {
@@ -268,20 +288,41 @@ func (s *Sim) Run(until Time) Time {
 			break
 		}
 		s.advanceTo(t)
-		ev := s.slots[0][int(uint64(t))&slotMask].head
-		s.unlink(ev)
-		ev.where = evRun
-		s.live--
 		s.now = t
-		s.Processed++
-		if ev.fn != nil {
-			ev.fn()
-		} else {
-			ev.fnArg(ev.arg)
-		}
-		if ev.where == evRun {
-			// Not re-scheduled by its own handler.
-			s.release(ev)
+		slot := int(uint64(t)) & slotMask
+		ls := &s.slots[0][slot]
+		for !s.stopped {
+			ev := ls.head
+			if ev == nil {
+				break
+			}
+			// Head pop, specialized from unlink: ev is ls.head so its
+			// prev is nil and the slot coordinates are already in hand.
+			next := ev.next
+			ls.head = next
+			if next != nil {
+				next.prev = nil
+			} else {
+				ls.tail = nil
+				s.clearBit(0, slot)
+			}
+			ev.next = nil
+			s.wheelCount--
+			ev.setState(evRun)
+			s.live--
+			s.Processed++
+			switch ev.kind {
+			case kindFnArg:
+				ev.fn(ev.arg)
+			case kindFunc:
+				ev.arg.(func())()
+			default:
+				s.dispatch(ev)
+			}
+			if ev.state() == evRun {
+				// Not re-scheduled by its own handler.
+				s.release(ev)
+			}
 		}
 	}
 	return s.now

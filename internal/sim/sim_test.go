@@ -280,6 +280,69 @@ func TestPostArg(t *testing.T) {
 	}
 }
 
+// poisonKind exists so the canary below covers dynamic-kind events; the
+// handler body never matters, only what release leaves behind.
+var poisonKind = NewKind(func(tgt, arg any) { tgt.(*poisonTgt).hits++ })
+
+type poisonTgt struct{ hits int }
+
+// TestReleasePoisonsPooledEvents is the pool-poison canary: after a
+// pooled event fires, release must clear every payload reference
+// (fn, arg) and reset kind/tgt, or a recycled node would pin app
+// objects — fatal at million-flow scale — and could dispatch through a
+// stale kind. External (caller-owned) events keep their binding by
+// design and must NOT be pushed onto the pool.
+func TestReleasePoisonsPooledEvents(t *testing.T) {
+	s := New()
+	tgt := &poisonTgt{}
+	tgtID := s.RegisterTarget(tgt)
+	fired := 0
+	s.Post(1, func() { fired++ })
+	s.PostArg(2, func(a any) { fired += a.(int) }, 1)
+	s.PostKind(3, poisonKind, tgtID, 7)
+	ext := s.NewKindEvent(poisonKind, tgtID, 9)
+	s.Schedule(ext, 4)
+	s.RunAll()
+	if fired != 2 || tgt.hits != 2 {
+		t.Fatalf("fired=%d hits=%d, want 2 and 2", fired, tgt.hits)
+	}
+	n := 0
+	for ev := s.free; ev != nil; ev = ev.next {
+		n++
+		if ev == ext {
+			t.Fatal("external event leaked onto the pool free list")
+		}
+		if ev.fn != nil || ev.arg != nil {
+			t.Fatalf("pooled event %d retains payload: fn set=%v arg=%v", n, ev.fn != nil, ev.arg)
+		}
+		if ev.kind != 0 || ev.tgt != 0 {
+			t.Fatalf("pooled event %d retains dispatch state: kind=%d tgt=%d", n, ev.kind, ev.tgt)
+		}
+		if ev.prev != nil {
+			t.Fatalf("pooled event %d retains prev link", n)
+		}
+		if ev.where != evFree {
+			t.Fatalf("pooled event %d has where=%#x, want evFree", n, ev.where)
+		}
+	}
+	if n < 3 {
+		t.Fatalf("free list has %d events, expected the 3 fired pooled events back", n)
+	}
+	// The external event idles released-but-bound: re-armable, payload
+	// intact, ext flag preserved.
+	if ext.state() != evFree || !ext.isExt() {
+		t.Fatalf("external event state=%#x isExt=%v after fire", ext.state(), ext.isExt())
+	}
+	if ext.kind != poisonKind || ext.tgt != tgtID || ext.arg != any(9) {
+		t.Fatal("external event lost its kind/tgt/arg binding")
+	}
+	s.Schedule(ext, s.Now()+1)
+	s.RunAll()
+	if tgt.hits != 3 {
+		t.Fatalf("re-armed external event did not fire: hits=%d", tgt.hits)
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(7), NewRNG(7)
 	for i := 0; i < 1000; i++ {

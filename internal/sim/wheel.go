@@ -32,39 +32,53 @@ const (
 
 // Event states. Free events are pooled (or, for external events, idle);
 // dead events are cancelled overflow-heap entries awaiting reclamation.
+// The state lives in the low bits of Event.where; the high bit marks an
+// externally owned event (NewEvent/NewKindEvent) that is never returned
+// to the node pool.
 const (
 	evFree uint8 = iota
 	evWheel
 	evHeap
 	evRun
 	evDead
+
+	evStateMask uint8 = 0x0f
+	evExt       uint8 = 0x80
 )
 
 // Event is one schedulable entry: an intrusive doubly-linked node when it
 // lives in a wheel slot, a leaf when it lives in the overflow heap.
 // Events are pooled by the Sim; fabric code preallocates self-rescheduling
 // events with NewEvent so the packet hot path allocates nothing.
+//
+// The layout is exactly one cache line (64 bytes): payload is either
+// fn+arg (kindFnArg), a func() boxed in arg (kindFunc), or a typed
+// kind+tgt+arg triple dispatched through the kind table.
 type Event struct {
 	at  Time
 	seq uint64
 
 	next, prev *Event
 
-	// Exactly one of fn / fnArg is set. fnArg avoids a closure
-	// allocation on the per-packet hot path.
-	fn    func()
-	fnArg func(any)
-	arg   any
+	fn  func(any)
+	arg any
 
-	sim   *Sim
-	where uint8
-	ext   bool // externally owned (NewEvent); never returned to the pool
+	tgt   uint32
+	kind  EventKind
+	where uint8 // evExt bit | state
 	level uint8
 	slot  uint8
 }
 
+func (e *Event) state() uint8      { return e.where & evStateMask }
+func (e *Event) setState(st uint8) { e.where = e.where&evExt | st }
+func (e *Event) isExt() bool       { return e.where&evExt != 0 }
+
 // Scheduled reports whether the event is currently queued to fire.
-func (e *Event) Scheduled() bool { return e.where == evWheel || e.where == evHeap }
+func (e *Event) Scheduled() bool {
+	st := e.where & evStateMask
+	return st == evWheel || st == evHeap
+}
 
 // evList is one wheel slot: a FIFO of events in scheduling (seq) order.
 type evList struct{ head, tail *Event }
@@ -127,7 +141,8 @@ func (s *Sim) place(ev *Event) {
 		return
 	}
 	slot := int(uint64(ev.at)>>(uint(l)*wheelBits)) & slotMask
-	ev.where, ev.level, ev.slot = evWheel, uint8(l), uint8(slot)
+	ev.setState(evWheel)
+	ev.level, ev.slot = uint8(l), uint8(slot)
 	ls := &s.slots[l][slot]
 	ev.prev = ls.tail
 	ev.next = nil
@@ -209,7 +224,7 @@ func (s *Sim) peek() (Time, bool) {
 		panic("sim: wheel count out of sync")
 	}
 	for len(s.heap) > 0 {
-		if s.heap[0].ev.where == evDead {
+		if s.heap[0].ev.state() == evDead {
 			it := s.heapPop()
 			s.Sched.DeadPops++
 			s.heapDead--
@@ -251,7 +266,7 @@ func (s *Sim) promoteHeap() {
 	win := uint64(s.wcur) >> (wheelBits * wheelLevels)
 	for len(s.heap) > 0 {
 		top := &s.heap[0]
-		if top.ev.where == evDead {
+		if top.ev.state() == evDead {
 			it := s.heapPop()
 			s.Sched.DeadPops++
 			s.heapDead--
@@ -269,7 +284,7 @@ func (s *Sim) promoteHeap() {
 // --- overflow heap --------------------------------------------------------
 
 func (s *Sim) heapPush(ev *Event) {
-	ev.where = evHeap
+	ev.setState(evHeap)
 	h := append(s.heap, heapItem{at: ev.at, seq: ev.seq, ev: ev})
 	s.heap = h
 	if n := len(h); n > s.Sched.HeapMax {
@@ -331,7 +346,7 @@ func (s *Sim) maybeCompact() {
 	}
 	live := s.heap[:0]
 	for _, it := range s.heap {
-		if it.ev.where == evDead {
+		if it.ev.state() == evDead {
 			s.Sched.DeadReclaimed++
 			s.release(it.ev)
 			continue

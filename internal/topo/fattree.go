@@ -53,7 +53,6 @@ func FatTree(s *sim.Sim, cfg FatTreeConfig) *Network {
 	numEdge := k * half    // edge e = pod*half + i
 	numAgg := k * half     // agg  a = pod*half + m
 	numCore := half * half // core j = m*half + c
-	numSw := numEdge + numAgg + numCore
 
 	g := cfg.Group
 	shards := 1
@@ -79,37 +78,10 @@ func FatTree(s *sim.Sim, cfg FatTreeConfig) *Network {
 	n.Pool = n.Pools[0]
 	rng := sim.NewRNG(0xfa7 + cfg.SeedSalt)
 
-	// Partition switches (edges, aggs, cores — matching the Switches
-	// slice): edges weigh their attached hosts; every intra-pod
-	// edge↔agg link and every agg↔core link is an affinity edge.
-	edgeShard := make([]int, numEdge)
-	aggShard := make([]int, numAgg)
-	coreShard := make([]int, numCore)
-	if g != nil {
-		weight := make([]int, numSw)
-		var links [][2]int
-		for e := 0; e < numEdge; e++ {
-			weight[e] = 1 + half
-			p := e / half
-			for m := 0; m < half; m++ {
-				links = append(links, [2]int{e, numEdge + p*half + m})
-			}
-		}
-		for a := 0; a < numAgg; a++ {
-			weight[numEdge+a] = 1
-			m := a % half
-			for c := 0; c < half; c++ {
-				links = append(links, [2]int{numEdge + a, numEdge + numAgg + m*half + c})
-			}
-		}
-		for j := 0; j < numCore; j++ {
-			weight[numEdge+numAgg+j] = 1
-		}
-		assign := Partition(numSw, shards, weight, links)
-		copy(edgeShard, assign[:numEdge])
-		copy(aggShard, assign[numEdge:numEdge+numAgg])
-		copy(coreShard, assign[numEdge+numAgg:])
-	}
+	// Partition and shared routing structure come from the cached
+	// blueprint — identical for every cell of this shape, computed once.
+	bp := fatTreeBlueprint(k, shards, g != nil)
+	edgeShard, aggShard, coreShard := bp.edgeShard, bp.aggShard, bp.coreShard
 	simFor := func(shard int) *sim.Sim {
 		if g == nil {
 			return s
@@ -220,44 +192,25 @@ func FatTree(s *sim.Sim, cfg FatTreeConfig) *Network {
 		}
 	}
 
-	// Routing. Structure is shared aggressively: portGroup[i] is the
-	// singleton ECMP group {i} reused by every downward entry in the
-	// fabric; uplinks is the shared up ECMP group {half..k-1}; all
-	// cores share one table; the aggs of a pod share one table.
-	portGroup := make([][]int, k)
-	for i := range portGroup {
-		portGroup[i] = []int{i}
-	}
-	uplinks := make([]int, half)
-	for c := range uplinks {
-		uplinks[c] = half + c
-	}
+	// Routing. Structure is shared aggressively — and, via the
+	// blueprint, across cells too: every edge switch installs the one
+	// edge table at its own host-range offset, every aggregation switch
+	// its pod's offset of the one agg table, every core the one core
+	// table. Safe because this topology never reroutes (tables are
+	// write-once).
 	for e, sw := range edges {
-		lo := e * half // first local host
-		tbl := make([][]int, half)
-		for j := 0; j < half; j++ {
-			tbl[j] = portGroup[j]
-		}
-		sw.SetRouteTableAt(packet.NodeID(lo), tbl)
-		sw.SetDefaultRoute(uplinks)
+		sw.SetRouteTableFlatAt(packet.NodeID(e*half), bp.edgeTbl, bp.edgeFlat)
+		sw.SetDefaultRoute(bp.uplinks)
 	}
 	for p := 0; p < k; p++ {
 		lo := p * podHosts
-		tbl := make([][]int, podHosts)
-		for h := 0; h < podHosts; h++ {
-			tbl[h] = portGroup[h/half]
-		}
 		for m := 0; m < half; m++ {
-			aggs[p*half+m].SetRouteTableAt(packet.NodeID(lo), tbl)
-			aggs[p*half+m].SetDefaultRoute(uplinks)
+			aggs[p*half+m].SetRouteTableFlatAt(packet.NodeID(lo), bp.aggTbl, bp.aggFlat)
+			aggs[p*half+m].SetDefaultRoute(bp.uplinks)
 		}
-	}
-	coreTbl := make([][]int, numHosts)
-	for h := 0; h < numHosts; h++ {
-		coreTbl[h] = portGroup[h/podHosts]
 	}
 	for _, sw := range cores {
-		sw.SetRouteTable(coreTbl)
+		sw.SetRouteTableFlatAt(0, bp.coreTbl, bp.coreFlat)
 	}
 
 	// Host→edge→agg→core→agg→edge→host: 6 links each way.

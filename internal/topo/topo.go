@@ -216,28 +216,13 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 	numHosts := cfg.Tors * cfg.HostsPerTor
 	rng := sim.NewRNG(0x7a17 + cfg.SeedSalt)
 
-	// Partition switches (ToRs first, then spines, matching the
-	// Switches slice): ToRs weigh their attached hosts, every uplink is
-	// an affinity edge. Hosts are pinned to their ToR's shard so the
-	// host↔ToR links never cross shards.
-	torShard := make([]int, cfg.Tors)
-	spineShard := make([]int, cfg.Spines)
-	if g != nil {
-		weight := make([]int, cfg.Tors+cfg.Spines)
-		var links [][2]int
-		for t := 0; t < cfg.Tors; t++ {
-			weight[t] = 1 + cfg.HostsPerTor
-			for c := 0; c < cfg.Spines; c++ {
-				links = append(links, [2]int{t, cfg.Tors + c})
-			}
-		}
-		for c := 0; c < cfg.Spines; c++ {
-			weight[cfg.Tors+c] = 1
-		}
-		assign := Partition(cfg.Tors+cfg.Spines, shards, weight, links)
-		copy(torShard, assign[:cfg.Tors])
-		copy(spineShard, assign[cfg.Tors:])
-	}
+	// Partition (ToRs first, then spines, matching the Switches slice)
+	// and shared routing structure come from the cached blueprint —
+	// identical for every cell of this shape, computed once. Hosts are
+	// pinned to their ToR's shard so the host↔ToR links never cross
+	// shards.
+	bp := leafSpineBlueprint(cfg.Spines, cfg.Tors, cfg.HostsPerTor, shards, g != nil)
+	torShard, spineShard := bp.torShard, bp.spineShard
 	simFor := func(shard int) *sim.Sim {
 		if g == nil {
 			return s
@@ -324,24 +309,23 @@ func LeafSpine(s *sim.Sim, cfg LeafSpineConfig) *Network {
 		}
 	}
 
-	// Routing.
-	uplinks := make([]int, cfg.Spines)
-	for c := range uplinks {
-		uplinks[c] = cfg.HostsPerTor + c
-	}
+	// Routing. ToR tables are per-cell (reroute rewrites their uplink
+	// entries in place), but their entry slices — the local-host
+	// singletons and the uplink group — and the whole spine table come
+	// from the blueprint: reroute never mutates those, so every cell
+	// shares them.
+	uplinks := bp.uplinks
 	for t, tor := range tors {
 		for h := 0; h < numHosts; h++ {
 			if h/cfg.HostsPerTor == t {
-				tor.SetRoute(packet.NodeID(h), []int{h % cfg.HostsPerTor})
+				tor.SetRoute(packet.NodeID(h), bp.hostPort[h%cfg.HostsPerTor])
 			} else {
 				tor.SetRoute(packet.NodeID(h), uplinks)
 			}
 		}
 	}
 	for _, sp := range spines {
-		for h := 0; h < numHosts; h++ {
-			sp.SetRoute(packet.NodeID(h), []int{h / cfg.HostsPerTor})
-		}
+		sp.SetRouteTableFlatAt(0, bp.spineTbl, bp.spineFlat)
 	}
 
 	// Failure-aware static rerouting: ToR uplink ECMP groups shrink to

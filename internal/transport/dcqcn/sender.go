@@ -11,6 +11,19 @@ import (
 	"tlt/internal/transport"
 )
 
+// Typed event kinds: the pacing tick (the hottest event in every DCQCN
+// run), the DCQCN rate-increase/alpha timers and the lazy RTO tick all
+// fire through static handlers on preallocated per-sender events, so
+// re-arming never boxes a method-value closure.
+var kindSendOne, kindRPTick, kindAlphaTick, kindRTOTick sim.EventKind
+
+func init() {
+	kindSendOne = sim.NewKind(func(_, arg any) { arg.(*Sender).sendOne() })
+	kindRPTick = sim.NewKind(func(_, arg any) { arg.(*Sender).rpTick() })
+	kindAlphaTick = sim.NewKind(func(_, arg any) { arg.(*Sender).alphaTick() })
+	kindRTOTick = sim.NewKind(func(_, arg any) { arg.(*Sender).rtoTick() })
+}
+
 // Sender is a DCQCN queue pair transmitting one message (flow) at a
 // paced rate, with the configured recovery variant.
 type Sender struct {
@@ -35,13 +48,17 @@ type Sender struct {
 	bytesCtr     int64
 	rpTimer      sim.Timer
 	alphaTimer   sim.Timer
+	rpEv         *sim.Event // preallocated tick events (lazily created)
+	alphaEv      *sim.Event
 
 	// Pacing.
 	nextFree  sim.Time
 	sendTimer sim.Timer
+	sendEv    *sim.Event
 
 	rtoDeadline sim.Time // lazy RTO: 0 = disarmed
 	rtoPending  bool
+	rtoEv       *sim.Event
 	rtoIsLow    bool // armed with IRN's RTO_low
 	backoff     uint // exponential backoff shift (only if RTO.MaxBackoffShift > 0)
 	retries     int  // consecutive full-RTO rounds without forward progress
@@ -187,7 +204,10 @@ func (s *Sender) schedule() {
 	if s.nextFree > at {
 		at = s.nextFree
 	}
-	s.sendTimer = s.s.At(at, s.sendOne)
+	if s.sendEv == nil {
+		s.sendEv = s.s.NewKindEvent(kindSendOne, 0, s)
+	}
+	s.sendTimer = s.s.ScheduleTimer(s.sendEv, at)
 }
 
 func (s *Sender) sendOne() {
@@ -399,10 +419,16 @@ func (s *Sender) onCnp() {
 
 func (s *Sender) startRateTimers() {
 	if !s.rpTimer.Pending() {
-		s.rpTimer = s.s.After(s.cfg.RPTimer, s.rpTick)
+		if s.rpEv == nil {
+			s.rpEv = s.s.NewKindEvent(kindRPTick, 0, s)
+		}
+		s.rpTimer = s.s.ScheduleTimer(s.rpEv, s.s.Now()+s.cfg.RPTimer)
 	}
 	if !s.alphaTimer.Pending() {
-		s.alphaTimer = s.s.After(s.cfg.AlphaTimer, s.alphaTick)
+		if s.alphaEv == nil {
+			s.alphaEv = s.s.NewKindEvent(kindAlphaTick, 0, s)
+		}
+		s.alphaTimer = s.s.ScheduleTimer(s.alphaEv, s.s.Now()+s.cfg.AlphaTimer)
 	}
 }
 
@@ -412,7 +438,7 @@ func (s *Sender) rpTick() {
 	}
 	s.increase()
 	if s.rate < float64(s.cfg.LineRateBps)*0.999 {
-		s.rpTimer = s.s.After(s.cfg.RPTimer, s.rpTick)
+		s.rpTimer = s.s.ScheduleTimer(s.rpEv, s.s.Now()+s.cfg.RPTimer)
 	}
 }
 
@@ -422,7 +448,7 @@ func (s *Sender) alphaTick() {
 	}
 	s.alpha *= 1 - s.cfg.G
 	if s.alpha > 1e-4 {
-		s.alphaTimer = s.s.After(s.cfg.AlphaTimer, s.alphaTick)
+		s.alphaTimer = s.s.ScheduleTimer(s.alphaEv, s.s.Now()+s.cfg.AlphaTimer)
 	}
 }
 
@@ -463,7 +489,10 @@ func (s *Sender) armRTO() {
 	s.rtoDeadline = s.s.Now() + rto
 	if !s.rtoPending {
 		s.rtoPending = true
-		s.s.At(s.rtoDeadline, s.rtoTick)
+		if s.rtoEv == nil {
+			s.rtoEv = s.s.NewKindEvent(kindRTOTick, 0, s)
+		}
+		s.s.Schedule(s.rtoEv, s.rtoDeadline)
 	}
 }
 
@@ -474,7 +503,7 @@ func (s *Sender) rtoTick() {
 	}
 	if now := s.s.Now(); now < s.rtoDeadline {
 		s.rtoPending = true
-		s.s.At(s.rtoDeadline, s.rtoTick)
+		s.s.Schedule(s.rtoEv, s.rtoDeadline)
 		return
 	}
 	s.onRTO()

@@ -15,6 +15,14 @@ import (
 	"tlt/internal/transport"
 )
 
+// kindRTOTick drives the lazy RTO tick through a static handler on a
+// preallocated per-sender event (no closure boxing per arm).
+var kindRTOTick sim.EventKind
+
+func init() {
+	kindRTOTick = sim.NewKind(func(_, arg any) { arg.(*Sender).rtoTick() })
+}
+
 // Config parametrizes an HPCC sender.
 type Config struct {
 	MSS         int
@@ -65,8 +73,9 @@ type Sender struct {
 
 	rtoDeadline sim.Time // lazy RTO: 0 = disarmed
 	rtoPending  bool
-	backoff     uint // exponential backoff shift (only if RTO.MaxBackoffShift > 0)
-	retries     int  // consecutive RTO rounds without forward progress
+	rtoEv       *sim.Event // preallocated tick event (lazily created)
+	backoff     uint       // exponential backoff shift (only if RTO.MaxBackoffShift > 0)
+	retries     int        // consecutive RTO rounds without forward progress
 	tlt         *core.WindowSender
 	done        bool
 	aborted     bool
@@ -353,7 +362,10 @@ func (s *Sender) armRTO() {
 	s.rtoDeadline = s.s.Now() + s.cfg.RTO.Fixed<<s.backoff
 	if !s.rtoPending {
 		s.rtoPending = true
-		s.s.At(s.rtoDeadline, s.rtoTick)
+		if s.rtoEv == nil {
+			s.rtoEv = s.s.NewKindEvent(kindRTOTick, 0, s)
+		}
+		s.s.Schedule(s.rtoEv, s.rtoDeadline)
 	}
 }
 
@@ -364,7 +376,7 @@ func (s *Sender) rtoTick() {
 	}
 	if now := s.s.Now(); now < s.rtoDeadline {
 		s.rtoPending = true
-		s.s.At(s.rtoDeadline, s.rtoTick)
+		s.s.Schedule(s.rtoEv, s.rtoDeadline)
 		return
 	}
 	s.onRTO()

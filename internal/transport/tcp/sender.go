@@ -11,6 +11,17 @@ import (
 	"tlt/internal/transport"
 )
 
+// Typed event kinds: the RTO and TLP lazy-deadline ticks fire through
+// static handlers on preallocated per-sender events, so re-arming a
+// timer never allocates (the old method-value At path boxed a closure
+// per arm).
+var kindRTOTick, kindTLPTick sim.EventKind
+
+func init() {
+	kindRTOTick = sim.NewKind(func(_, arg any) { arg.(*Sender).rtoTick() })
+	kindTLPTick = sim.NewKind(func(_, arg any) { arg.(*Sender).tlpTick() })
+}
+
 // segment is one MSS-aligned unit of the send scoreboard.
 type segment struct {
 	start, end int64
@@ -69,13 +80,15 @@ type Sender struct {
 	rtoDeadline sim.Time // 0 = disarmed
 	rtoPending  bool
 	rtoTimer    sim.Timer
+	rtoEv       *sim.Event // preallocated tick event (lazily created)
 	backoff     uint
 	retries     int // consecutive RTO rounds without forward progress
 
 	tlpDeadline sim.Time
 	tlpPending  bool
 	tlpTimer    sim.Timer
-	tlpFired    bool // one probe per episode
+	tlpEv       *sim.Event // preallocated tick event (lazily created)
+	tlpFired    bool       // one probe per episode
 
 	tlt *core.WindowSender
 
@@ -696,7 +709,10 @@ func (s *Sender) armRTO() {
 	s.rtoDeadline = s.s.Now() + rto
 	if !s.rtoPending {
 		s.rtoPending = true
-		s.rtoTimer = s.s.At(s.rtoDeadline, s.rtoTick)
+		if s.rtoEv == nil {
+			s.rtoEv = s.s.NewKindEvent(kindRTOTick, 0, s)
+		}
+		s.rtoTimer = s.s.ScheduleTimer(s.rtoEv, s.rtoDeadline)
 	}
 }
 
@@ -707,7 +723,7 @@ func (s *Sender) rtoTick() {
 	}
 	if now := s.s.Now(); now < s.rtoDeadline {
 		s.rtoPending = true
-		s.rtoTimer = s.s.At(s.rtoDeadline, s.rtoTick)
+		s.rtoTimer = s.s.ScheduleTimer(s.rtoEv, s.rtoDeadline)
 		return
 	}
 	s.onRTO()
@@ -725,7 +741,10 @@ func (s *Sender) armTLP() {
 	s.tlpDeadline = s.s.Now() + pto
 	if !s.tlpPending {
 		s.tlpPending = true
-		s.tlpTimer = s.s.At(s.tlpDeadline, s.tlpTick)
+		if s.tlpEv == nil {
+			s.tlpEv = s.s.NewKindEvent(kindTLPTick, 0, s)
+		}
+		s.tlpTimer = s.s.ScheduleTimer(s.tlpEv, s.tlpDeadline)
 	}
 }
 
@@ -736,7 +755,7 @@ func (s *Sender) tlpTick() {
 	}
 	if now := s.s.Now(); now < s.tlpDeadline {
 		s.tlpPending = true
-		s.tlpTimer = s.s.At(s.tlpDeadline, s.tlpTick)
+		s.tlpTimer = s.s.ScheduleTimer(s.tlpEv, s.tlpDeadline)
 		return
 	}
 	s.onTLP()
